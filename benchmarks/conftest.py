@@ -1,0 +1,37 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures at a reduced
+input size (full-size regeneration is ``python -m repro.experiments all``),
+asserts the paper's *shape* on the result, and reports the wall time of
+the regeneration through pytest-benchmark (single round - these are
+simulations, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: records per benchmark for the CI-speed figure regenerations
+FAST_RECORDS = 4096
+
+
+@pytest.fixture
+def fast_records() -> int:
+    return FAST_RECORDS
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def pytest_collection_modifyitems(items):
+    """The shape-assertion tests take the ``benchmark`` fixture only so
+    ``--benchmark-only`` runs them (they assert on module-scoped results
+    rather than timing anything); silence the unused-fixture warning."""
+    import pytest
+
+    for item in items:
+        item.add_marker(
+            pytest.mark.filterwarnings("ignore:Benchmark fixture was not used")
+        )

@@ -1,0 +1,121 @@
+"""Ablations from the paper's prose (sections IV-C, IV-F, VI-A, III-B).
+
+* flow control vs none vs software record-granularity barriers on the
+  high-variance stress kernel (the "not shown" result of section VI-A);
+* rate-matching convergence behaviour (section IV-F);
+* interleaved vs array-of-structs layout (section III-B) - structural
+  comparison of row locality under inter-record parallelism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.config import SystemConfig
+from repro.layout.aos import ArrayOfStructsLayout
+from repro.layout.interleaved import InterleavedLayout
+from repro.sim.driver import run
+
+
+#: a tightened buffer so straying spans the queue at test scale (the
+#: paper's straying accumulates over billions of records; see DESIGN.md 6.3)
+STRESS = SystemConfig().with_millipede(prefetch_entries=4, prefetch_ahead=3)
+
+
+@pytest.fixture(scope="module")
+def flow_results():
+    out = {}
+    for arch in ("millipede", "millipede-nofc", "millipede-bar"):
+        out[arch] = run(arch, "varwork", config=STRESS, n_records=16384)
+    return out
+
+
+class TestFlowControlAblation:
+    def test_regenerates(self, benchmark, flow_results):
+        def report():
+            rows = []
+            for arch, r in flow_results.items():
+                rows.append((arch, r.runtime_s * 1e6,
+                             r.stats.get("pb.premature_evictions", 0),
+                             r.stats.get("pb.evicted_misses", 0)))
+            return rows
+
+        rows = run_once(benchmark, report)
+        print()
+        for arch, us, prem, miss in rows:
+            print(f"{arch:>16s} {us:8.1f}us  premature={prem:.0f} evicted_misses={miss:.0f}")
+
+    def test_flow_control_prevents_premature_eviction(self, benchmark, flow_results):
+        assert flow_results["millipede"].stats.get("pb.premature_evictions", 0) == 0
+        assert flow_results["millipede-nofc"].stats.get("pb.premature_evictions", 0) > 0
+
+    def test_flow_control_outperforms_none(self, benchmark, flow_results):
+        assert (flow_results["millipede"].throughput_words_per_s
+                > flow_results["millipede-nofc"].throughput_words_per_s)
+
+    def test_software_barriers_do_not_recover_flow_control(self, benchmark, flow_results):
+        """Section VI-A: record-granularity barriers are too infrequent to
+        prevent premature evictions; they land at or below flow control."""
+        fc = flow_results["millipede"].throughput_words_per_s
+        bar = flow_results["millipede-bar"].throughput_words_per_s
+        assert bar < fc
+        assert flow_results["millipede-bar"].stats.get("pb.premature_evictions", 0) > 0
+
+
+class TestRateMatchConvergence:
+    def test_clock_converges_below_nominal_for_light_benchmark(self, benchmark):
+        r = run_once(benchmark, run, "millipede-rm", "count", n_records=16384)
+        mean_hz = r.collected["rate_match_mean_hz"]
+        final_hz = r.collected["rate_match_final_hz"]
+        print(f"\ncount rate-matched clock: mean {mean_hz / 1e6:.0f} MHz, "
+              f"final {final_hz / 1e6:.0f} MHz (nominal 700)")
+        # the controller oscillates within one step band (section IV-F), so
+        # judge convergence on the time-weighted mean, not the final sample
+        assert mean_hz < 700e6
+        assert mean_hz >= 200e6
+
+    def test_heavy_benchmark_keeps_higher_clock(self, benchmark):
+        """Compute-heavier work settles at a higher clock.  The mean
+        includes the startup transient, which at scaled-down inputs adds a
+        couple of percent of noise - compare with that tolerance (the
+        suite-wide ordering is asserted by benchmarks/test_table4.py)."""
+        light = run("millipede-rm", "count", n_records=8192)
+        heavy = run("millipede-rm", "gda", n_records=2048)
+        assert (heavy.collected["rate_match_mean_hz"]
+                >= light.collected["rate_match_mean_hz"] * 0.97)
+
+    def test_rate_matching_saves_idle_energy_when_memory_bound(self, benchmark):
+        plain = run("millipede", "count", n_records=16384)
+        rm = run("millipede-rm", "count", n_records=16384)
+        assert rm.energy.idle_j <= plain.energy.idle_j * 1.05
+        # and costs little performance (memory was the bottleneck)
+        assert rm.runtime_s <= plain.runtime_s * 1.25
+
+
+class TestLayoutAblation:
+    def test_aos_scatters_parallel_accesses_across_rows(self, benchmark):
+        """Section III-B: with array-of-structs, 32 threads' simultaneous
+        same-field accesses span 32*F words; interleaved keeps them in
+        F... 1 row.  Structural check on the address streams."""
+        n, f, row_words = 2048, 8, 512
+        inter = InterleavedLayout(n, f, block_records=512)
+        aos = ArrayOfStructsLayout(n, f)
+        threads = range(32)
+        inter_rows = {inter.addr(t, 0) // row_words for t in threads}
+        aos_rows = {aos.addr(t, 0) // row_words for t in threads}
+        assert len(inter_rows) == 1
+        assert len(aos_rows) > 1 or f * 32 <= row_words
+
+    def test_aos_spreads_record_over_fewer_rows(self, benchmark):
+        """The flip side: AoS keeps one record's fields together while the
+        interleaved layout stripes them 'vertically across the rows'
+        (section VI-E) - quantify both."""
+        n, f, row_words = 2048, 8, 512
+        inter = InterleavedLayout(n, f, block_records=512)
+        aos = ArrayOfStructsLayout(n, f)
+        inter_span = {inter.addr(7, fld) // row_words for fld in range(f)}
+        aos_span = {aos.addr(7, fld) // row_words for fld in range(f)}
+        assert len(aos_span) <= 2
+        assert len(inter_span) == f

@@ -1,0 +1,60 @@
+"""Fig. 3 regeneration: performance normalized to GPGPU.
+
+Asserts the paper's shape: millipede >= millipede-nofc, millipede >= ssmc
+>= ~gpgpu, vws-row >= vws, and Millipede fastest overall on the geomean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig3
+from repro.experiments.common import FIG3_ARCHES, geomean
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return fig3.run_experiment(n_records=4096)
+
+
+def test_fig3_regenerates(benchmark, fast_records):
+    res = run_once(benchmark, fig3.run_experiment, n_records=fast_records)
+    print()
+    print(res.text())
+    assert len(res.rows) == 9  # 8 benchmarks + geomean
+
+
+class TestFig3Shape:
+    def _geomeans(self, res) -> dict[str, float]:
+        return dict(zip(FIG3_ARCHES, res.rows[-1][1:]))
+
+    def test_millipede_fastest_on_geomean(self, benchmark, fig3_result):
+        g = self._geomeans(fig3_result)
+        assert g["millipede"] == max(g.values())
+
+    def test_millipede_beats_gpgpu(self, benchmark, fig3_result):
+        g = self._geomeans(fig3_result)
+        assert g["millipede"] > 1.05  # paper: 2.35x
+
+    def test_millipede_beats_ssmc(self, benchmark, fig3_result):
+        g = self._geomeans(fig3_result)
+        assert g["millipede"] > g["ssmc"]  # paper: 1.35x
+
+    def test_flow_control_helps_or_is_neutral(self, benchmark, fig3_result):
+        g = self._geomeans(fig3_result)
+        assert g["millipede"] >= g["millipede-nofc"] - 0.02
+
+    def test_row_orientedness_helps_vws(self, benchmark, fig3_result):
+        g = self._geomeans(fig3_result)
+        assert g["vws-row"] >= g["vws"] - 0.05
+
+    def test_millipede_gpgpu_gap_shrinks_left_to_right(self, benchmark, fig3_result):
+        """The paper: Millipede's MIMD advantage over GPGPU decreases as
+        branchiness falls (left to right)."""
+        rows = fig3_result.rows[:-1]
+        i_m = 1 + FIG3_ARCHES.index("millipede")
+        ratios = [r[i_m] for r in rows]
+        left = geomean(ratios[:4])
+        right = geomean(ratios[4:])
+        assert left >= right - 0.05

@@ -1,0 +1,78 @@
+"""Fig. 4 regeneration: energy normalized to GPGPU, with breakdown.
+
+Asserts the paper's qualitative claims: Millipede(+rate matching) uses the
+least energy; SSMC's DRAM energy exceeds GPGPU's (row misses cost energy
+even when latency-hidden); rate matching reduces Millipede's core energy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig4
+from repro.experiments.common import BENCHES, FIG4_ARCHES, geomean, sweep
+
+
+@pytest.fixture(scope="module")
+def fig4_results():
+    return sweep(FIG4_ARCHES, BENCHES, n_records=4096)
+
+
+def test_fig4_regenerates(benchmark, fast_records):
+    res = run_once(benchmark, fig4.run_experiment, n_records=fast_records)
+    print()
+    print(res.text())
+    assert len(res.rows) == 9
+
+
+class TestFig4Shape:
+    def test_millipede_rm_least_total_energy(self, benchmark, fig4_results):
+        for arch in ("gpgpu", "ssmc", "vws"):
+            ratio = geomean([
+                fig4_results[wl]["millipede-rm"].energy.total_j
+                / fig4_results[wl][arch].energy.total_j
+                for wl in BENCHES
+            ])
+            assert ratio < 1.0, f"millipede-rm should beat {arch}, got {ratio:.2f}x"
+
+    def test_ssmc_dram_energy_exceeds_gpgpu(self, benchmark, fig4_results):
+        """Block-granular misses/refetches cost DRAM energy that SIMT's
+        coalesced row locality avoids."""
+        ratio = geomean([
+            fig4_results[wl]["ssmc"].energy.dram_j
+            / fig4_results[wl]["gpgpu"].energy.dram_j
+            for wl in BENCHES
+        ])
+        assert ratio > 1.0
+
+    def test_ssmc_dram_energy_penalty_on_heavy_benchmarks(self, fig4_results, benchmark):
+        """Paper section VI-B: for pca/gda SSMC's row misses are 'hidden in
+        execution time but not in energy'."""
+        for wl in ("pca", "gda"):
+            ssmc = fig4_results[wl]["ssmc"].energy
+            mill = fig4_results[wl]["millipede"].energy
+            assert ssmc.dram_j > mill.dram_j
+
+    def test_rate_matching_never_increases_core_energy(self, benchmark, fig4_results):
+        """Paper: rate matching cuts core energy 16%.  Our calibration
+        leaves Millipede only mildly memory-bound (DESIGN.md deviation 2),
+        so there is little idle energy to recover - assert the mechanism's
+        direction (no core-energy increase) and leave the magnitude to the
+        deviation record."""
+        saving = 1 - geomean([
+            fig4_results[wl]["millipede-rm"].energy.core_j
+            / fig4_results[wl]["millipede"].energy.core_j
+            for wl in BENCHES
+        ])
+        assert saving > -0.01, f"rate matching increased core energy {-saving * 100:.1f}%"
+
+    def test_gpgpu_core_energy_exceeds_millipede(self, benchmark, fig4_results):
+        """Shared-memory crossbar + divergence idle make GPGPU's core bill
+        larger than Millipede's scratchpads."""
+        ratio = geomean([
+            fig4_results[wl]["gpgpu"].energy.core_j
+            / fig4_results[wl]["millipede"].energy.core_j
+            for wl in BENCHES
+        ])
+        assert ratio > 1.0

@@ -1,0 +1,48 @@
+"""Fig. 5 regeneration: Millipede node vs conventional multicore.
+
+Asserts the paper's direction and rough magnitude: a 32-processor
+Millipede node beats the 8-core multicore by an order of magnitude in
+performance and by a large factor in energy-delay (paper: ~125x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig5
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return fig5.run_experiment(n_records=4096)
+
+
+def test_fig5_regenerates(benchmark, fast_records):
+    res = run_once(benchmark, fig5.run_experiment, n_records=fast_records)
+    print()
+    print(res.text())
+    assert res.rows[-1][0] == "geomean"
+
+
+class TestFig5Shape:
+    def test_large_node_speedup(self, benchmark, fig5_result):
+        """At CI scale the fixed host-reduce cost weighs against the tiny
+        Map shard; the geomean still lands at several-fold (9x+ at the
+        EXPERIMENTS.md input sizes, where Map amortizes the reduce)."""
+        speedup = fig5_result.rows[-1][1]
+        assert speedup > 3.0, f"node speedup only {speedup:.1f}x"
+
+    def test_energy_advantage(self, benchmark, fig5_result):
+        energy_gain = fig5_result.rows[-1][2]
+        assert energy_gain > 2.0
+
+    def test_energy_delay_advantage(self, benchmark, fig5_result):
+        ed = fig5_result.rows[-1][3]
+        # paper: ~125x at full scale; ~40x at EXPERIMENTS.md sizes; the
+        # CI-size shard keeps the direction with a reduced magnitude
+        assert ed > 10.0, f"energy-delay gain only {ed:.0f}x (paper: ~125x)"
+
+    def test_every_benchmark_wins(self, fig5_result, benchmark):
+        for row in fig5_result.rows[:-1]:
+            assert row[1] > 1.0, f"{row[0]}: multicore won on performance?"

@@ -1,0 +1,37 @@
+"""Fig. 6 regeneration: speedup vs system size (32 -> 64 cores,
+proportional bandwidth).
+
+Asserts the paper's direction: Millipede's advantage over the same-size
+GPGPU does not shrink when the machine doubles (more lanes = more
+divergence waste for the GPGPU; Millipede's MIMD scales).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig6
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return fig6.run_experiment(n_records=4096)
+
+
+def test_fig6_regenerates(benchmark, fast_records):
+    res = run_once(benchmark, fig6.run_experiment, n_records=fast_records)
+    print()
+    print(res.text())
+    assert res.headers == ["benchmark", "ssmc@32", "millipede@32", "ssmc@64", "millipede@64"]
+
+
+class TestFig6Shape:
+    def test_millipede_advantage_does_not_shrink(self, benchmark, fig6_result):
+        g = fig6_result.rows[-1]
+        m32, m64 = g[2], g[4]
+        assert m64 >= m32 - 0.05
+
+    def test_millipede_beats_gpgpu_at_both_sizes(self, benchmark, fig6_result):
+        g = fig6_result.rows[-1]
+        assert g[2] > 1.0 and g[4] > 1.0

@@ -1,0 +1,40 @@
+"""Fig. 7 regeneration: sensitivity to prefetch-buffer entry count.
+
+Asserts the paper's shape: performance improves monotonically with buffer
+count and levels off (paper: around 32 entries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import fig7
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return fig7.run_experiment(n_records=4096)
+
+
+def test_fig7_regenerates(benchmark, fast_records):
+    res = run_once(benchmark, fig7.run_experiment, n_records=fast_records)
+    print()
+    print(res.text())
+    assert len(res.headers) == 1 + len(fig7.ENTRY_COUNTS)
+
+
+class TestFig7Shape:
+    def test_monotone_improvement(self, benchmark, fig7_result):
+        g = fig7_result.rows[-1][1:]
+        for a, b in zip(g, g[1:]):
+            assert b >= a - 0.05, f"non-monotone: {g}"
+
+    def test_levels_off(self, benchmark, fig7_result):
+        g = fig7_result.rows[-1][1:]
+        early_gain = g[1] - g[0]
+        late_gain = g[-1] - g[-2]
+        assert late_gain <= early_gain + 0.02
+
+    def test_more_buffers_never_lose_big(self, benchmark, fig7_result):
+        for row in fig7_result.rows[:-1]:
+            assert row[-1] >= row[1] * 0.9

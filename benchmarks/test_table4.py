@@ -1,0 +1,54 @@
+"""Table IV regeneration: benchmark characteristics.
+
+Asserts the paper's characteristic *orderings*: branch density falls as
+compute intensity rises; the rate-matched clock rises with instructions
+per word (light benchmarks are DRAM-bound and get clocked down); every
+rate-matched clock stays at or below the 700 MHz nominal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import table4
+from repro.experiments.common import BENCHES
+
+
+@pytest.fixture(scope="module")
+def table4_result():
+    return table4.run_experiment(n_records=4096)
+
+
+def test_table4_regenerates(benchmark, fast_records):
+    res = run_once(benchmark, table4.run_experiment, n_records=fast_records)
+    print()
+    print(res.text())
+    assert [r[0] for r in res.rows] == BENCHES
+
+
+class TestTable4Shape:
+    def test_branchiness_falls_with_compute_intensity(self, benchmark, table4_result):
+        rows = sorted(table4_result.rows, key=lambda r: r[1])  # by insts/word
+        light = sum(r[3] for r in rows[:4]) / 4   # br/inst, measured
+        heavy = sum(r[3] for r in rows[4:]) / 4
+        assert light > heavy
+
+    def test_rate_match_clock_rises_with_compute_intensity(self, benchmark, table4_result):
+        rows = sorted(table4_result.rows, key=lambda r: r[1])
+        light_clock = sum(r[7] for r in rows[:4]) / 4
+        heavy_clock = sum(r[7] for r in rows[4:]) / 4
+        assert heavy_clock > light_clock
+
+    def test_clocks_at_or_below_nominal(self, benchmark, table4_result):
+        for r in table4_result.rows:
+            assert r[7] <= 700.0 + 1e-6
+
+    def test_lightest_benchmark_gets_lowest_clock(self, table4_result, benchmark):
+        rows = sorted(table4_result.rows, key=lambda r: r[1])
+        clocks = [r[7] for r in rows]
+        assert min(clocks) == min(clocks[:3])
+
+    def test_row_miss_rate_reported_for_every_benchmark(self, table4_result, benchmark):
+        for r in table4_result.rows:
+            assert 0.0 <= r[5] <= 1.0

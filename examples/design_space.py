@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Design-space exploration with the configuration API.
+
+Sweeps two of Millipede's design parameters - prefetch-buffer entries
+(Fig. 7) and corelet count with proportional bandwidth (Fig. 6) - on the
+`nbayes` benchmark, and prints throughput/energy trade-off tables.
+
+Run:
+    python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+from repro import DEFAULT_CONFIG, run
+
+RECORDS = 8192
+
+
+def sweep_buffers() -> None:
+    print("=== prefetch-buffer entries (nbayes, millipede) ===")
+    print(f"{'entries':>8s} {'throughput':>12s} {'energy':>9s} {'fill waits':>11s}")
+    for entries in (2, 4, 8, 16, 32):
+        cfg = DEFAULT_CONFIG.with_millipede(
+            prefetch_entries=entries,
+            prefetch_ahead=max(1, entries - 1),
+        )
+        r = run("millipede", "nbayes", config=cfg, n_records=RECORDS)
+        print(
+            f"{entries:8d} {r.throughput_words_per_s / 1e9:9.2f}Gw/s "
+            f"{r.energy.total_j * 1e6:7.1f}uJ "
+            f"{r.stats.get('pb.fill_waits', 0) + r.stats.get('pb.ahead_misses', 0):11.0f}"
+        )
+
+
+def sweep_corelets() -> None:
+    print("\n=== corelets per processor, bandwidth scaled (nbayes) ===")
+    print(f"{'corelets':>9s} {'millipede':>11s} {'ssmc':>9s} {'gpgpu':>9s}")
+    for n in (32, 64):
+        cfg = DEFAULT_CONFIG.scaled_system_size(n)
+        row = [n]
+        for arch in ("millipede", "ssmc", "gpgpu"):
+            r = run(arch, "nbayes", config=cfg, n_records=RECORDS)
+            row.append(r.throughput_words_per_s / 1e9)
+        print(f"{row[0]:9d} {row[1]:8.2f}Gw {row[2]:7.2f}Gw {row[3]:7.2f}Gw")
+
+
+def sweep_clock() -> None:
+    print("\n=== fixed compute clock vs rate matching (count) ===")
+    print(f"{'config':>22s} {'runtime':>10s} {'total energy':>13s} {'core energy':>12s}")
+    for label, arch, clock in (
+        ("700 MHz fixed", "millipede", None),
+        ("rate-matched (DFS)", "millipede-rm", None),
+    ):
+        r = run(arch, "count", n_records=RECORDS)
+        extra = ""
+        if "rate_match_mean_hz" in r.collected:
+            extra = f"  (settled at {r.collected['rate_match_mean_hz'] / 1e6:.0f} MHz)"
+        print(
+            f"{label:>22s} {r.runtime_s * 1e6:8.1f}us "
+            f"{r.energy.total_j * 1e6:11.2f}uJ {r.energy.core_j * 1e6:10.2f}uJ{extra}"
+        )
+
+
+if __name__ == "__main__":
+    sweep_buffers()
+    sweep_corelets()
+    sweep_clock()

@@ -1,0 +1,43 @@
+"""repro: a full reproduction of *Millipede: Die-Stacked Memory
+Optimizations for Big Data Machine Learning Analytics* (IPDPS 2018).
+
+Quick start
+-----------
+>>> from repro import run
+>>> result = run("millipede", "count", n_records=2048)   # doctest: +SKIP
+>>> result.validated                                     # doctest: +SKIP
+True
+
+The package layers:
+
+* :mod:`repro.engine`    - discrete-event simulation kernel
+* :mod:`repro.isa`       - the mini RISC ISA kernels are written in
+* :mod:`repro.dram`      - die-stacked DRAM (banks, FR-FCFS controller)
+* :mod:`repro.mem`       - caches, scratchpads, the row prefetch buffer
+* :mod:`repro.core`      - the Millipede processor (the paper's contribution)
+* :mod:`repro.arch`      - GPGPU / VWS / SSMC / multicore baselines
+* :mod:`repro.layout`    - interleaved record layouts
+* :mod:`repro.workloads` - the eight BMLA benchmarks + golden models
+* :mod:`repro.mapreduce` - host / cluster MapReduce layers
+* :mod:`repro.energy`    - component energy model
+* :mod:`repro.sim`       - one-call run driver
+* :mod:`repro.experiments` - regenerates every table and figure
+"""
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
+from repro.workloads.registry import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SystemConfig",
+    "ARCHITECTURES",
+    "RunResult",
+    "run",
+    "run_many",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

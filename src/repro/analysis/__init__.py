@@ -1,0 +1,22 @@
+"""Post-run analysis: roofline modelling, bottleneck attribution, and
+rate-match convergence diagnostics.
+
+These tools answer "*why* did this run perform the way it did" from a
+:class:`repro.sim.driver.RunResult` - the same questions the paper's
+section VI answers qualitatively (which benchmarks are bandwidth-bound,
+where SSMC's cycles go, how fast the DFS converges).
+"""
+
+from repro.analysis.roofline import RooflineModel, RooflinePoint
+from repro.analysis.bottleneck import BottleneckReport, attribute_bottleneck
+from repro.analysis.convergence import ConvergenceReport, analyze_convergence, analyze_history
+
+__all__ = [
+    "RooflineModel",
+    "RooflinePoint",
+    "BottleneckReport",
+    "attribute_bottleneck",
+    "ConvergenceReport",
+    "analyze_convergence",
+    "analyze_history",
+]

@@ -1,0 +1,106 @@
+"""Bottleneck attribution from run statistics.
+
+Decomposes a run into the fractions the paper's section VI reasons about:
+data-bus occupancy (bandwidth pressure), row-activation overhead (the
+SSMC penalty), prefetch-related waiting (Millipede's flow-control cost),
+divergence waste (the GPGPU penalty), and issue idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.driver import RunResult
+
+
+@dataclass
+class BottleneckReport:
+    workload: str
+    arch: str
+    #: fraction of the run the DRAM data bus was transferring
+    bus_utilization: float
+    #: activations per kiloword transferred (row-locality quality; 1 row
+    #: opened per 512 words = 1.95 is the row-streaming optimum)
+    activations_per_kword: float
+    #: DRAM traffic amplification: words transferred / input words
+    traffic_amplification: float
+    #: SIMT lane-efficiency (1.0 for MIMD architectures)
+    simt_efficiency: float
+    #: core idle cycles per issued instruction
+    idle_per_instruction: float
+    #: classified primary bottleneck
+    verdict: str
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.arch}/{self.workload}: {self.verdict}",
+            f"  bus utilization        {self.bus_utilization * 100:6.1f}%",
+            f"  activations / kword    {self.activations_per_kword:6.2f}",
+            f"  traffic amplification  {self.traffic_amplification:6.2f}x",
+            f"  SIMT efficiency        {self.simt_efficiency * 100:6.1f}%",
+            f"  idle / instruction     {self.idle_per_instruction:6.3f}",
+        ]
+        lines += [f"  - {n}" for n in self.notes]
+        return "\n".join(lines)
+
+
+#: bus utilization above which a run is considered bandwidth-bound
+_BW_BOUND = 0.75
+#: SIMT efficiency below which divergence is called the primary problem
+_DIVERGENCE_BAD = 0.85
+
+
+def attribute_bottleneck(result: RunResult) -> BottleneckReport:
+    """Classify where a run's time went."""
+    stats = result.stats
+    prefix = "offchip" if "offchip.requests" in stats else "dram"
+    busy = stats.get(f"{prefix}.bus_busy_ps", 0.0)
+    bus_util = busy / result.finish_ps if result.finish_ps else 0.0
+    words = stats.get(f"{prefix}.words_transferred", 0.0)
+    acts = stats.get(f"{prefix}.activations", 0.0)
+    amplification = words / result.input_words if result.input_words else 0.0
+    act_per_kword = acts / words * 1000 if words else 0.0
+    simt_eff = result.collected.get("simt_efficiency", 1.0)
+    instructions = result.collected.get("instructions", 1.0)
+    idle = result.collected.get("idle_cycles", 0.0) / instructions
+
+    notes = []
+    if amplification > 1.5:
+        notes.append(
+            f"{amplification:.1f}x DRAM traffic: private-cache refetch or "
+            "premature-eviction demand fetches are burning bandwidth"
+        )
+    if act_per_kword > 8:
+        notes.append(
+            "poor row locality: block-granular streams are thrashing the "
+            "row buffers (the paper's SSMC pathology)"
+        )
+    if stats.get("pb.premature_evictions", 0) > 0:
+        notes.append(
+            f"{stats['pb.premature_evictions']:.0f} premature prefetch "
+            "evictions (flow control disabled?)"
+        )
+    if stats.get("pb.flow_defers", 0) > 0 and result.arch.startswith("millipede"):
+        notes.append("flow control engaged (deferred prefetch triggers)")
+
+    if bus_util >= _BW_BOUND:
+        verdict = "memory-bandwidth-bound"
+    elif simt_eff < _DIVERGENCE_BAD:
+        verdict = "compute-bound, divergence-limited"
+    elif idle > 0.5:
+        verdict = "latency-bound (cores idle waiting on memory)"
+    else:
+        verdict = "compute-bound"
+
+    return BottleneckReport(
+        workload=result.workload,
+        arch=result.arch,
+        bus_utilization=bus_util,
+        activations_per_kword=act_per_kword,
+        traffic_amplification=amplification,
+        simt_efficiency=simt_eff,
+        idle_per_instruction=idle,
+        verdict=verdict,
+        notes=notes,
+    )

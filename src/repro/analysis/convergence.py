@@ -1,0 +1,98 @@
+"""Rate-matching convergence diagnostics (section IV-F).
+
+The paper argues the hill-climbing DFS "needs to converge just once at the
+start of the application" (e.g. within ~16,000 cycles) and afterwards
+oscillates "within a band of the size of the small step".  This module
+quantifies both properties from a controller's frequency trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rate_match import RateMatchController
+
+
+@dataclass
+class ConvergenceReport:
+    #: time at which the trajectory last left the final band (ps)
+    converged_at_ps: int
+    #: run length (ps)
+    end_ps: int
+    #: time-weighted mean frequency after convergence (Hz)
+    settled_hz: float
+    #: half-width of the post-convergence oscillation band (Hz)
+    band_hz: float
+    n_adjustments: int
+
+    @property
+    def converged_fraction(self) -> float:
+        """Fraction of the run spent *before* settling (paper: tiny)."""
+        return self.converged_at_ps / self.end_ps if self.end_ps else 0.0
+
+    @property
+    def band_steps(self) -> float:
+        """Oscillation band in units of the settled frequency (paper:
+        within one ~5% step)."""
+        return self.band_hz / self.settled_hz if self.settled_hz else 0.0
+
+    def render(self) -> str:
+        return (
+            f"rate-match convergence: settled at {self.settled_hz / 1e6:.0f} MHz "
+            f"after {self.converged_at_ps / 1e6:.1f} us "
+            f"({self.converged_fraction * 100:.1f}% of the run), "
+            f"band +/-{self.band_hz / 1e6:.0f} MHz "
+            f"({self.band_steps * 100:.1f}%), {self.n_adjustments} adjustments"
+        )
+
+
+def analyze_convergence(controller: RateMatchController, end_ps: int,
+                        band_tolerance: float = 0.11) -> ConvergenceReport:
+    """Analyze a live controller's trajectory (see
+    :func:`analyze_history` for the serialized-trajectory variant)."""
+    return analyze_history(controller.history, end_ps, band_tolerance)
+
+
+def analyze_history(history: list, end_ps: int,
+                    band_tolerance: float = 0.11) -> ConvergenceReport:
+    """Analyze a ``(time_ps, freq_hz)`` trajectory.
+
+    ``band_tolerance`` is the relative band (default: two 5% steps) around
+    the final settled frequency; convergence time is when the trajectory
+    permanently enters that band.
+    """
+    history = [tuple(h) for h in history]
+    if end_ps <= 0:
+        raise ValueError("end_ps must be positive")
+    # time-weighted mean frequency over the run
+    total = 0.0
+    for (t0, f), (t1, _) in zip(history, history[1:]):
+        total += f * (min(t1, end_ps) - min(t0, end_ps))
+    t_last, f_last = history[-1]
+    if end_ps > t_last:
+        total += f_last * (end_ps - t_last)
+    settled = total / end_ps
+    # post-convergence band: the extremes of the trajectory's tail
+    lo = settled * (1 - band_tolerance)
+    hi = settled * (1 + band_tolerance)
+
+    converged_at = 0
+    for t, f in history:
+        if not (lo <= f <= hi):
+            converged_at = t  # last departure from the band
+    # the *next* adjustment after the last departure is the entry point
+    for t, f in history:
+        if t > converged_at and lo <= f <= hi:
+            converged_at = t
+            break
+
+    tail = [f for t, f in history if t >= converged_at] or [history[-1][1]]
+    band = (max(tail) - min(tail)) / 2
+
+    return ConvergenceReport(
+        converged_at_ps=converged_at,
+        end_ps=end_ps,
+        settled_hz=settled,
+        band_hz=band,
+        n_adjustments=max(0, len(history) - 1),
+    )

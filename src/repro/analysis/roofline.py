@@ -1,0 +1,101 @@
+"""Roofline model for the PNM processor.
+
+The classic roofline: attainable throughput is
+``min(peak_compute, intensity * peak_bandwidth)``.  For BMLAs the natural
+operational intensity is *instructions per input byte* (the paper's
+"operations per byte", Table II) and the compute roof is
+``cores x clock x IPC``.  The model both *predicts* where a workload lands
+and *checks* the simulator against first principles - a measured
+throughput meaningfully above the roof would indicate an accounting bug
+(tested), and the ratio to the roof quantifies the overheads the paper
+discusses (row misses, divergence, straying).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, WORD_BYTES
+from repro.sim.driver import RunResult
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One run placed on the roofline."""
+
+    workload: str
+    arch: str
+    intensity_insts_per_byte: float
+    measured_insts_per_s: float
+    roof_insts_per_s: float
+    compute_bound: bool
+
+    @property
+    def efficiency(self) -> float:
+        """Measured / attainable (1.0 = on the roof)."""
+        return self.measured_insts_per_s / self.roof_insts_per_s if self.roof_insts_per_s else 0.0
+
+
+class RooflineModel:
+    """Roofline for one architecture configuration."""
+
+    def __init__(self, config: SystemConfig, arch: str = "millipede",
+                 clock_hz: float | None = None):
+        self.config = config
+        self.arch = arch
+        if arch == "multicore":
+            mc = config.multicore
+            self.peak_compute = mc.n_cores * mc.clock_hz * mc.issue_width
+            frac = mc.offchip_bandwidth_fraction
+            self.peak_bandwidth = config.dram.peak_bandwidth_bytes_per_s * frac
+        else:
+            core = config.core
+            self.peak_compute = core.n_cores * (clock_hz or core.clock_hz)  # IPC 1
+            self.peak_bandwidth = config.dram.peak_bandwidth_bytes_per_s
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Instructions/byte where the roofs meet; workloads left of the
+        ridge are bandwidth-bound.  The calibration (DESIGN.md section 5)
+        places this mid-way through the benchmark suite."""
+        return self.peak_compute / self.peak_bandwidth
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable instruction throughput at ``intensity`` insts/byte."""
+        if intensity <= 0:
+            return 0.0
+        return min(self.peak_compute, intensity * self.peak_bandwidth)
+
+    def predict_bound(self, intensity: float) -> str:
+        return "bandwidth" if intensity < self.ridge_intensity else "compute"
+
+    # ------------------------------------------------------------------
+    def place(self, result: RunResult) -> RooflinePoint:
+        """Place a measured run on this roofline."""
+        intensity = result.insts_per_word / WORD_BYTES
+        measured = result.collected.get("instructions", 0.0) / result.runtime_s
+        roof = self.attainable(intensity)
+        return RooflinePoint(
+            workload=result.workload,
+            arch=result.arch,
+            intensity_insts_per_byte=intensity,
+            measured_insts_per_s=measured,
+            roof_insts_per_s=roof,
+            compute_bound=intensity >= self.ridge_intensity,
+        )
+
+    def render(self, points: list[RooflinePoint], width: int = 50) -> str:
+        """ASCII roofline chart: one row per point, bar = efficiency."""
+        lines = [
+            f"roofline: peak {self.peak_compute / 1e9:.1f} Ginst/s, "
+            f"{self.peak_bandwidth / 1e9:.1f} GB/s, "
+            f"ridge @ {self.ridge_intensity:.2f} inst/B",
+        ]
+        for p in sorted(points, key=lambda p: p.intensity_insts_per_byte):
+            n = int(round(p.efficiency * width))
+            bound = "BW " if not p.compute_bound else "CPU"
+            lines.append(
+                f"{p.workload:>9s} {p.intensity_insts_per_byte:6.2f} inst/B "
+                f"[{bound}] |{'#' * n:<{width}s}| {p.efficiency * 100:5.1f}% of roof"
+            )
+        return "\n".join(lines)

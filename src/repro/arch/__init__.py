@@ -1,0 +1,23 @@
+"""Baseline PNM architectures the paper compares Millipede against.
+
+All baselines share Millipede's resources exactly (section V): same number
+of cores/lanes, same 4-way multithreading, same in-order pipelines, same
+160 KB of on-processor-die memory, the same die-stacked DRAM channel, the
+same interleaved data layout, and sequential prefetch - so measured
+differences isolate row-orientedness, flow control, and rate matching.
+"""
+
+from repro.arch.base import Processor
+from repro.arch.ssmc import SsmcProcessor
+from repro.arch.gpgpu import GpgpuSM
+from repro.arch.vws import VwsSM, VwsRowSM
+from repro.arch.multicore import MulticoreProcessor
+
+__all__ = [
+    "Processor",
+    "SsmcProcessor",
+    "GpgpuSM",
+    "VwsSM",
+    "VwsRowSM",
+    "MulticoreProcessor",
+]

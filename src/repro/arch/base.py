@@ -1,0 +1,41 @@
+"""Common processor interface consumed by the simulation driver."""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Processor(Protocol):
+    """What every architecture model exposes to :mod:`repro.sim.driver`.
+
+    Concrete implementations: :class:`repro.core.MillipedeProcessor`,
+    :class:`repro.arch.SsmcProcessor`, :class:`repro.arch.GpgpuSM`,
+    :class:`repro.arch.VwsSM`, :class:`repro.arch.VwsRowSM`,
+    :class:`repro.arch.MulticoreProcessor`.
+    """
+
+    finish_ps: Optional[int]
+
+    def set_thread_args(self, args_per_thread: list[dict[int, float]]) -> None:
+        """Load the kernel ABI registers for every hardware thread."""
+        ...
+
+    def start(self) -> None:
+        """Begin execution at the current engine time."""
+        ...
+
+    @property
+    def done(self) -> bool:
+        """True once every thread has halted."""
+        ...
+
+    def thread_states(self) -> list[np.ndarray]:
+        """Per-global-thread live-state arrays (host copy-out order)."""
+        ...
+
+    def collect(self) -> dict[str, float]:
+        """Aggregate run counters for the energy model and reports."""
+        ...

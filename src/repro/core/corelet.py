@@ -1,0 +1,262 @@
+"""Generic simple MIMD core with small-scale hardware multithreading.
+
+One :class:`MimdCore` models a Millipede corelet, an SSMC core, or (with a
+wider issue) one conventional-multicore context - the paper deliberately
+keeps the pipelines identical across the PNM architectures (section V) so
+that performance differences isolate the *memory* optimizations.
+
+Timing model
+------------
+* In-order, single-issue; after a thread issues, it may not issue again for
+  ``issue_gap_cycles`` (the pipeline depth that the 4 hardware contexts are
+  there to hide, section IV-A).  With all 4 threads ready the core sustains
+  IPC 1; when threads block on memory, issue bubbles appear and are counted
+  as idle cycles (they burn the "idle dynamic energy" of Fig. 4).
+* Local (live-state) accesses are single-cycle scratchpad/L1 hits and are
+  executed inline.
+* Global (input-data) accesses are *shared-state* interactions: they are
+  scheduled onto the event heap at the core's local timestamp, and the core
+  continues running its other threads inline only in bounded chunks while
+  accesses are outstanding, so cross-core state (prefetch buffer, DRAM
+  queue) is always touched in global time order with bounded skew.
+
+Subclasses provide the global-access port (prefetch buffer for Millipede,
+L1D+prefetcher for SSMC) by overriding :meth:`_global_access`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import CoreConfig
+from repro.engine.clock import Clock
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+from repro.isa.executor import MemAccess, ThreadContext, step_one
+from repro.isa.instructions import Op
+from repro.isa.program import Program
+from repro.mem.local_memory import LocalMemory
+
+_BAR = int(Op.BAR)
+
+#: how far a core may run ahead inline while global accesses are pending
+#: (bounds cross-component timestamp skew; in compute cycles)
+_CHUNK_CYCLES = 8
+
+
+class MimdCore:
+    """One simple multithreaded core."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        program: Program,
+        cfg: CoreConfig,
+        clock: Clock,
+        local_mem: LocalMemory,
+        core_id: int,
+        on_done: Callable[["MimdCore"], None],
+        read_global: Callable[[int], float],
+        stats: Optional[Stats] = None,
+    ):
+        self.engine = engine
+        self.program = program
+        self.cfg = cfg
+        self.clock = clock
+        self.local_mem = local_mem
+        self.core_id = core_id
+        self.on_done = on_done
+        self.read_global = read_global
+
+        n = cfg.n_threads
+        self.threads = [ThreadContext(core_id * n + s, cfg.n_registers) for s in range(n)]
+        #: per-thread earliest next issue time (ps)
+        self.ready_at = [0] * n
+        #: per-thread blocked-on-memory / blocked-on-barrier flags
+        self.blocked = [False] * n
+        self.at_barrier = [False] * n
+
+        #: thread-private live-state partition of the corelet's scratchpad
+        self.state_words = local_mem.n_words // n
+
+        self.t = 0  # local time (ps)
+        self.pending = 0  # outstanding global accesses
+        self.done = False
+        self._run_scheduled = False
+        self._rr = 0  # round-robin pointer
+
+        # accounting
+        self.idle_cycles = 0.0
+        self.issued = 0
+        self.finish_ps: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def set_thread_args(self, slot: int, args: dict[int, float]) -> None:
+        self.threads[slot].set_args(args)
+
+    def start(self) -> None:
+        self._schedule_run(self.engine.now)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _schedule_run(self, at_ps: int) -> None:
+        if not self._run_scheduled and not self.done:
+            self._run_scheduled = True
+            self.engine.schedule_at(max(at_ps, self.engine.now), self._run)
+
+    def _run(self) -> None:
+        self._run_scheduled = False
+        if self.done:
+            return
+        period = self.clock.period_ps
+        now = self.engine.now
+        if now > self.t:
+            # the core sat blocked from self.t to now: idle cycles
+            self.idle_cycles += (now - self.t) / period
+            self.t = now
+        t = self.t
+        gap = self.cfg.issue_gap_cycles * period
+        chunk_end = t + _CHUNK_CYCLES * period if self.pending else None
+
+        threads = self.threads
+        ready_at = self.ready_at
+        blocked = self.blocked
+        program = self.program
+        n = len(threads)
+
+        while True:
+            # -- pick a ready thread, round-robin ----------------------
+            slot = -1
+            start = self._rr
+            for i in range(n):
+                s = (start + i) % n
+                th = threads[s]
+                if th.halted or blocked[s] or ready_at[s] > t:
+                    continue
+                slot = s
+                break
+            if slot < 0:
+                if all(th.halted for th in threads):
+                    self._finish(t)
+                    return
+                # threads exist but none issuable: either waiting on memory
+                # (resume via callback) or in an issue-gap bubble
+                waiting = [ready_at[s] for s in range(n)
+                           if not threads[s].halted and not blocked[s]]
+                if not waiting:
+                    self.t = t
+                    return  # all blocked on memory/barrier: sleep
+                nt = min(waiting)
+                self.idle_cycles += (nt - t) / period
+                t = nt
+                continue
+
+            self._rr = (slot + 1) % n
+            th = threads[slot]
+            acc = step_one(th, program.instrs[th.pc])
+            self.issued += 1
+            ready_at[slot] = t + gap
+
+            if acc is not None:
+                if acc.op == _BAR:
+                    blocked[slot] = True
+                    self.at_barrier[slot] = True
+                    self.engine.schedule_at(t, self._barrier_hook, slot)
+                elif acc.is_global:
+                    blocked[slot] = True
+                    self.pending += 1
+                    self.engine.schedule_at(t, self._issue_global, slot, acc)
+                    if chunk_end is None:
+                        chunk_end = t + _CHUNK_CYCLES * period
+                else:
+                    self._local_access(th, acc)
+
+            t += period
+            if chunk_end is not None and t >= chunk_end:
+                if self.pending:
+                    self.t = t
+                    self._schedule_run(t)
+                    return
+                chunk_end = None
+
+    # ------------------------------------------------------------------
+    # memory paths
+    # ------------------------------------------------------------------
+    def _local_access(self, th: ThreadContext, acc: MemAccess) -> None:
+        """Single-cycle thread-private scratchpad access."""
+        addr = self._translate_local(th, acc.addr)
+        if acc.is_store:
+            self.local_mem.write(addr, acc.value)
+        else:
+            th.commit_load(acc.rd, self.local_mem.read(addr))
+
+    def _translate_local(self, th: ThreadContext, addr: int) -> int:
+        slot = th.tid % self.cfg.n_threads
+        if not 0 <= addr < self.state_words:
+            raise IndexError(
+                f"thread {th.tid} local address {addr} exceeds its "
+                f"{self.state_words}-word state partition"
+            )
+        return slot * self.state_words + addr
+
+    def _issue_global(self, slot: int, acc: MemAccess) -> None:
+        """Engine event at the access's issue time: route to the
+        architecture's input-data port."""
+        if acc.is_store:
+            raise NotImplementedError(
+                "BMLA Map kernels do not store to global memory (outputs "
+                "live in local state and are copied out by the host, "
+                "section IV-E)"
+            )
+        self._global_access(slot, acc)
+
+    def _global_access(self, slot: int, acc: MemAccess) -> None:
+        """Architecture hook: start the global load; must eventually call
+        :meth:`_global_done`."""
+        raise NotImplementedError
+
+    def _global_done(self, slot: int, acc: MemAccess, ready_ps: int) -> None:
+        """Data for ``acc`` is available at ``ready_ps``: commit and wake."""
+        th = self.threads[slot]
+        th.commit_load(acc.rd, self.read_global(acc.addr))
+        self.blocked[slot] = False
+        self.pending -= 1
+        # one extra cycle to move the word from the buffer into the register
+        self.ready_at[slot] = ready_ps + self.clock.period_ps
+        self._schedule_run(max(self.t, self.ready_at[slot]))
+
+    # ------------------------------------------------------------------
+    # barriers (software-barrier ablation)
+    # ------------------------------------------------------------------
+    def _barrier_hook(self, slot: int) -> None:
+        """Engine event: report this thread's barrier arrival to the
+        processor-level coordinator (overridden where supported)."""
+        raise NotImplementedError(
+            "this architecture does not implement software barriers"
+        )
+
+    def barrier_release(self, slot: int) -> None:
+        """Called by the processor when the barrier opens."""
+        self.blocked[slot] = False
+        self.at_barrier[slot] = False
+        self.ready_at[slot] = max(self.ready_at[slot], self.engine.now)
+        self._schedule_run(max(self.t, self.engine.now))
+
+    # ------------------------------------------------------------------
+    def _finish(self, t: int) -> None:
+        self.done = True
+        self.finish_ps = t
+        self.t = t
+        self.on_done(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> int:
+        return sum(th.instr_count for th in self.threads)
+
+    @property
+    def dynamic_branches(self) -> int:
+        return sum(th.branches for th in self.threads)

@@ -1,0 +1,46 @@
+"""Processor-wide synchronization helpers.
+
+The *hardware* cross-corelet flow control lives in
+:class:`repro.mem.prefetch_buffer.PrefetchBuffer` (PFT bits + DF counters).
+This module implements the *software* alternative the paper evaluates and
+rejects (sections IV-C and VI-A): barriers at record granularity across all
+Map tasks.  The paper's finding - the barriers are too infrequent relative
+to the prefetch-buffer capacity to prevent premature evictions - is
+reproduced by the ``ablation_barriers`` benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engine.stats import Stats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.corelet import MimdCore
+
+
+class BarrierCoordinator:
+    """Generation-counted rendezvous across every thread of a processor.
+
+    All threads must execute the same number of ``bar`` instructions (the
+    workload generator pads record counts so threads get equal work)."""
+
+    def __init__(self, stats: Stats):
+        self.stats = stats.scoped("barrier")
+        self._waiting: list[tuple["MimdCore", int]] = []
+        self._expected = 0
+
+    def set_expected(self, n_threads: int) -> None:
+        self._expected = n_threads
+
+    def arrive(self, core: "MimdCore", slot: int) -> None:
+        """A thread reached its ``bar``; release everyone once all arrive."""
+        if self._expected <= 0:
+            raise RuntimeError("BarrierCoordinator.set_expected was not called")
+        self._waiting.append((core, slot))
+        self.stats.inc("arrivals")
+        if len(self._waiting) == self._expected:
+            self.stats.inc("releases")
+            waiting, self._waiting = self._waiting, []
+            for c, s in waiting:
+                c.barrier_release(s)

@@ -1,0 +1,81 @@
+"""Coarse-grain compute-memory rate matching (section IV-F).
+
+A one-dimensional hill-climbing controller adjusts the *processor-wide*
+compute clock in small steps (default 5%):
+
+* prefetch buffers **empty** (a demand access arrived before its row's
+  prefetch completed) → the application is memory-bandwidth-bound → step
+  the clock **down**;
+* prefetch buffers **full** (flow control deferred a trigger because the
+  head entry was still unconsumed) → compute is the laggard → step the
+  clock **up**.
+
+The paper stresses the *coarse* granularity: one controller per processor
+(space) and one convergence per application (time), because BMLA behaviour
+is statistically stationary over billions of records.  Adjustments are
+debounced by a minimum interval so a burst of waits from one row counts
+once.  Without voltage scaling the saving is idle-cycle dynamic energy:
+a slower clock makes the cores wait for memory in *fewer cycles*.
+"""
+
+from __future__ import annotations
+
+from repro.config import MillipedeConfig
+from repro.engine.clock import Clock
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+
+
+class RateMatchController:
+    """Hill-climbing DFS driven by prefetch-buffer full/empty signals."""
+
+    def __init__(self, engine: Engine, clock: Clock, cfg: MillipedeConfig, stats: Stats):
+        self.engine = engine
+        self.clock = clock
+        self.cfg = cfg
+        self.stats = stats.scoped("ratematch")
+        self._last_adjust_ps = -(10**18)
+        #: (time_ps, freq_hz) trajectory, for convergence analysis
+        self.history: list[tuple[int, float]] = [(0, clock.freq_hz)]
+
+    # ------------------------------------------------------------------
+    def empty_signal(self) -> None:
+        """Buffers empty → memory-bound → slow the corelets down."""
+        self.stats.inc("empty_signals")
+        self._adjust(-1)
+
+    def full_signal(self) -> None:
+        """Buffers full → compute-bound side → speed the corelets up."""
+        self.stats.inc("full_signals")
+        self._adjust(+1)
+
+    # ------------------------------------------------------------------
+    def _adjust(self, direction: int) -> None:
+        now = self.engine.now
+        if now - self._last_adjust_ps < self.cfg.rate_match_interval_ps:
+            return
+        self._last_adjust_ps = now
+        f = self.clock.freq_hz * (1.0 + direction * self.cfg.rate_match_step)
+        f = min(self.cfg.rate_match_max_hz, max(self.cfg.rate_match_min_hz, f))
+        if f != self.clock.freq_hz:
+            self.clock.set_frequency(f)
+            self.stats.inc("adjustments")
+            self.history.append((now, f))
+
+    # ------------------------------------------------------------------
+    @property
+    def final_freq_hz(self) -> float:
+        return self.history[-1][1]
+
+    def mean_freq_hz(self, end_ps: int) -> float:
+        """Time-weighted mean frequency over [0, end_ps] - the "rate-match
+        clock" we report against the paper's Table IV column 5."""
+        if end_ps <= 0:
+            return self.history[-1][1]
+        total = 0.0
+        for (t0, f), (t1, _) in zip(self.history, self.history[1:]):
+            total += f * (min(t1, end_ps) - min(t0, end_ps))
+        t_last, f_last = self.history[-1]
+        if end_ps > t_last:
+            total += f_last * (end_ps - t_last)
+        return total / end_ps

@@ -1,0 +1,24 @@
+"""Die-stacked DRAM model: banks, rows, FR-FCFS controller, backing store.
+
+Timing follows the paper's Table III: tCAS-tRP-tRCD-tRAS = 9-9-9-27 channel
+cycles at 1.2 GHz, 2 KB rows, 4 banks per channel, a 16-deep FR-FCFS
+controller, and 6 pJ/bit access energy.  The model is event-driven: bank
+activations overlap the shared data bus, row hits are preferred by the
+scheduler, and every request carries its real data (the backing store is a
+NumPy array) so simulated reductions can be validated against golden
+results.
+"""
+
+from repro.dram.address import AddressMapper, DramLocation
+from repro.dram.timing import DramTiming
+from repro.dram.dram import GlobalMemory
+from repro.dram.controller import MemoryController, DramRequest
+
+__all__ = [
+    "AddressMapper",
+    "DramLocation",
+    "DramTiming",
+    "GlobalMemory",
+    "MemoryController",
+    "DramRequest",
+]

@@ -1,0 +1,55 @@
+"""Word address -> (bank, row, column) mapping.
+
+Consecutive DRAM rows are interleaved round-robin across banks so that a
+sequential row-dense stream (the BMLA access pattern) naturally exposes
+bank-level parallelism - the activation of row *k+1* in the next bank can
+overlap the data transfer of row *k*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DramConfig, WORD_BYTES
+
+
+@dataclass(frozen=True)
+class DramLocation:
+    bank: int
+    row: int
+    col: int  #: word offset within the row
+
+
+class AddressMapper:
+    """Pure-function mapper; shared by the controller and the prefetchers.
+
+    >>> from repro.config import DramConfig
+    >>> m = AddressMapper(DramConfig())
+    >>> m.locate(0)
+    DramLocation(bank=0, row=0, col=0)
+    >>> m.locate(512).bank   # next row -> next bank
+    1
+    """
+
+    def __init__(self, cfg: DramConfig):
+        self.row_words = cfg.row_bytes // WORD_BYTES
+        self.n_banks = cfg.banks_per_channel
+
+    def locate(self, word_addr: int) -> DramLocation:
+        row_index = word_addr // self.row_words
+        return DramLocation(
+            bank=row_index % self.n_banks,
+            row=row_index // self.n_banks,
+            col=word_addr % self.row_words,
+        )
+
+    def global_row_index(self, word_addr: int) -> int:
+        """Sequential row number (bank-agnostic), used by row prefetchers."""
+        return word_addr // self.row_words
+
+    def row_base_addr(self, global_row: int) -> int:
+        """First word address of sequential row ``global_row``."""
+        return global_row * self.row_words
+
+    def same_row(self, a: int, b: int) -> bool:
+        return a // self.row_words == b // self.row_words

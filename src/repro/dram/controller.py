@@ -1,0 +1,251 @@
+"""FR-FCFS memory controller for one die-stacked channel.
+
+Model
+-----
+* One shared data bus per channel; one request in transfer at a time.
+* Per-bank row-buffer state with tRP/tRCD/tRAS constraints; activations
+  proceed in parallel with transfers on other banks (bank-level
+  parallelism), which is what makes a sequential row-dense stream achieve
+  near-peak bandwidth.
+* Scheduling is first-ready-first-come-first-served: at each scheduling
+  point every free bank is assigned its best queued request (row hits
+  preferred, then oldest, considering only the ``queue_depth`` oldest
+  requests - the FR-FCFS window); the data bus is granted to the pending
+  request that can start earliest, tie-broken by age, with an explicit
+  anti-starvation age threshold.
+
+Statistics feed the paper's Table IV ("row miss rate" = fraction of
+requests that needed an activation) and Fig. 4's DRAM energy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import DramConfig, WORD_BYTES
+from repro.dram.address import AddressMapper
+from repro.dram.timing import DramTiming
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+
+#: a request older than this is always served next (anti-starvation)
+_STARVATION_PS = 3_000_000
+
+
+_REQ_SEQ = [0]
+
+
+class DramRequest:
+    """One burst read/write of ``n_words`` consecutive words."""
+
+    __slots__ = ("addr", "n_words", "arrival_ps", "callback", "is_write",
+                 "bank", "row", "data_ready_ps", "tag", "seq")
+
+    def __init__(self, addr: int, n_words: int, arrival_ps: int,
+                 callback: Optional[Callable[["DramRequest"], None]],
+                 is_write: bool = False, tag: object = None):
+        _REQ_SEQ[0] += 1
+        self.seq = _REQ_SEQ[0]  # issue order, breaks equal-arrival ties
+        self.addr = addr
+        self.n_words = n_words
+        self.arrival_ps = arrival_ps
+        self.callback = callback
+        self.is_write = is_write
+        self.bank = -1
+        self.row = -1
+        self.data_ready_ps = 0  # earliest CAS-complete time once assigned
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DramRequest @{self.addr} x{self.n_words}w bank={self.bank} row={self.row}>"
+
+
+class _Bank:
+    __slots__ = ("open_row", "act_ps", "busy_until_ps", "pending")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.act_ps = 0          # when the open row was activated
+        self.busy_until_ps = 0   # bank unavailable before this time
+        self.pending: Optional[DramRequest] = None
+
+
+class MemoryController:
+    """One channel's FR-FCFS controller + the channel's banks."""
+
+    def __init__(self, engine: Engine, cfg: DramConfig, stats: Stats, name: str = "dram"):
+        self.engine = engine
+        self.cfg = cfg
+        self.timing = DramTiming(cfg)
+        self.mapper = AddressMapper(cfg)
+        self.stats = stats.scoped(name)
+        self.banks = [_Bank() for _ in range(cfg.banks_per_channel)]
+        self.queue: list[DramRequest] = []
+        self.bus_free_ps = 0
+        self._scheduled_kicks: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def access(self, addr: int, n_words: int,
+               callback: Optional[Callable[[DramRequest], None]] = None,
+               is_write: bool = False, tag: object = None) -> DramRequest:
+        """Enqueue a burst request at the current engine time.
+
+        A request must not straddle a row boundary - callers split at rows
+        (cache blocks and prefetch rows both satisfy this by construction).
+        """
+        loc = self.mapper.locate(addr)
+        end_loc = self.mapper.locate(addr + n_words - 1)
+        if (loc.bank, loc.row) != (end_loc.bank, end_loc.row):
+            raise ValueError(
+                f"request [{addr}, {addr + n_words}) straddles a row boundary"
+            )
+        req = DramRequest(addr, n_words, self.engine.now, callback, is_write, tag)
+        req.bank, req.row = loc.bank, loc.row
+        self.queue.append(req)
+        self.stats.inc("requests")
+        self.stats.inc("words_requested", n_words)
+        # defer scheduling to a same-timestamp event so every request that
+        # arrives "this cycle" is visible before any binding decision
+        self._request_kick(self.engine.now)
+        return req
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.queue) or any(b.pending for b in self.banks)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _bank_candidates(self, bank_id: int, open_row: Optional[int]):
+        """(hits, best_miss) for ``bank_id`` within the FR-FCFS window."""
+        window = self.queue[: self.cfg.controller_queue_depth]
+        now = self.engine.now
+        best_hit: Optional[DramRequest] = None
+        best_miss: Optional[DramRequest] = None
+        starved: Optional[DramRequest] = None
+        for req in window:
+            if req.bank != bank_id:
+                continue
+            if now - req.arrival_ps > _STARVATION_PS:
+                if starved is None or req.seq < starved.seq:
+                    starved = req
+            if req.row == open_row:
+                if best_hit is None or req.seq < best_hit.seq:
+                    best_hit = req
+            elif best_miss is None or req.seq < best_miss.seq:
+                best_miss = req
+        return best_hit, best_miss, starved
+
+    def _assign_banks(self) -> None:
+        """Pre-activate a row miss on every idle bank that has no queued
+        row hit left (FR-FCFS: drain hits to the open row before closing
+        it).  The activation overlaps other banks' data transfers."""
+        now = self.engine.now
+        t = self.timing
+        for bank_id, bank in enumerate(self.banks):
+            if bank.pending is not None:
+                continue
+            best_hit, best_miss, starved = self._bank_candidates(bank_id, bank.open_row)
+            req = None
+            if starved is not None and starved is not best_hit:
+                req = starved  # anti-starvation overrides hit-first
+            elif best_hit is None:
+                req = best_miss
+            if req is None:
+                continue
+            self.queue.remove(req)
+            bank.pending = req
+            self.stats.inc("row_misses")
+            self.stats.inc("activations")
+            self.stats.inc("row_accesses")
+            pre_start = max(now, bank.busy_until_ps, bank.act_ps + t.t_ras_ps)
+            act_start = pre_start + (t.t_rp_ps if bank.open_row is not None else 0)
+            bank.open_row = req.row
+            bank.act_ps = act_start
+            req.data_ready_ps = act_start + t.t_rcd_ps + t.t_cas_ps
+
+    def _grant_bus(self) -> Optional[int]:
+        """Start the best transfer if the bus is free; returns the transfer
+        completion time (ps) or None.  Candidates are each bank's bound
+        (activated) request or its oldest row hit."""
+        now = self.engine.now
+        if self.bus_free_ps > now:
+            return self.bus_free_ps
+        t = self.timing
+        best_req: Optional[DramRequest] = None
+        best_key = None
+        best_bound = False
+        for bank_id, bank in enumerate(self.banks):
+            if bank.pending is not None:
+                req, bound = bank.pending, True
+                ready = req.data_ready_ps
+            else:
+                hit, _, _ = self._bank_candidates(bank_id, bank.open_row)
+                if hit is None:
+                    continue
+                req, bound = hit, False
+                # CAS commands pipeline under in-flight transfers: a hit's
+                # data is ready tCAS after the request could first be
+                # issued (arrival, or the row becoming open), NOT tCAS
+                # after the previous transfer drains
+                ready = max(req.arrival_ps, bank.act_ps + t.t_rcd_ps) + t.t_cas_ps
+            key = (max(now, ready), req.seq)
+            if best_req is None or key < best_key:
+                best_req, best_key, best_bound = req, key, bound
+                best_req.data_ready_ps = ready
+        if best_req is None:
+            return None
+        req = best_req
+        bank = self.banks[req.bank]
+        if best_bound:
+            bank.pending = None
+        else:
+            self.queue.remove(req)
+            self.stats.inc("row_hits")
+            self.stats.inc("row_accesses")
+        data_start = max(now, req.data_ready_ps)
+        end = data_start + self.timing.transfer_ps(req.n_words * WORD_BYTES)
+        self.bus_free_ps = end
+        bank.busy_until_ps = end
+        self.stats.inc("words_transferred", req.n_words)
+        self.stats.inc("bus_busy_ps", end - data_start)
+        self.engine.schedule_at(end, self._complete, req)
+        return end
+
+    def _complete(self, req: DramRequest) -> None:
+        self.stats.inc("completed")
+        if req.callback is not None:
+            req.callback(req)
+        self._kick()
+
+    def _request_kick(self, at_ps: int) -> None:
+        if at_ps not in self._scheduled_kicks:
+            self._scheduled_kicks.add(at_ps)
+            self.engine.schedule_at(at_ps, self._kick_event, at_ps)
+
+    def _kick_event(self, at_ps: int) -> None:
+        self._scheduled_kicks.discard(at_ps)
+        self._kick()
+
+    def _kick(self) -> None:
+        """Scheduling point: assign banks, try to grant the bus, and arrange
+        the next scheduling point."""
+        self._assign_banks()
+        end = self._grant_bus()
+        if end is None:
+            # bus idle and nothing pending: next kick happens on arrival
+            return
+        if end > self.engine.now:
+            # re-evaluate when the bus frees (completion also kicks, but a
+            # direct kick is needed when _grant_bus declined due to busy bus)
+            self._request_kick(end)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def row_miss_rate(self) -> float:
+        """Row misses / row accesses - the paper's Table IV column 4."""
+        total = self.stats.get("row_accesses")
+        return self.stats.get("row_misses") / total if total else 0.0

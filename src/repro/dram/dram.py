@@ -1,0 +1,61 @@
+"""Global-memory backing store.
+
+The die-stacked DRAM holds *real data* (a ``numpy`` float64 word array), so
+the full simulation stack is end-to-end checkable: a workload's simulated
+reduction must match its golden NumPy implementation bit-for-bit on integer
+counters and to float tolerance on accumulators.
+
+Words are 4 bytes for bandwidth accounting (the paper's record fields are
+4-byte ints) but stored as float64 so fractional coordinates survive; the
+energy/bandwidth model always charges ``WORD_BYTES`` per word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_BYTES
+
+
+class GlobalMemory:
+    """Word-addressed dataset storage.
+
+    >>> m = GlobalMemory(8)
+    >>> m.write_word(3, 2.5)
+    >>> m.read_word(3)
+    2.5
+    """
+
+    def __init__(self, n_words: int):
+        if n_words <= 0:
+            raise ValueError(f"memory size must be positive, got {n_words}")
+        self.n_words = int(n_words)
+        self.data = np.zeros(self.n_words, dtype=np.float64)
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "GlobalMemory":
+        """Wrap a 1-D array as the memory image (the host-CPU copy-in of
+        section IV-E)."""
+        mem = cls(len(arr))
+        mem.data[:] = np.asarray(arr, dtype=np.float64)
+        return mem
+
+    @property
+    def n_bytes(self) -> int:
+        return self.n_words * WORD_BYTES
+
+    def read_word(self, addr: int) -> float:
+        if not 0 <= addr < self.n_words:
+            raise IndexError(f"global read out of range: {addr} (size {self.n_words})")
+        return float(self.data[addr])
+
+    def write_word(self, addr: int, value: float) -> None:
+        if not 0 <= addr < self.n_words:
+            raise IndexError(f"global write out of range: {addr} (size {self.n_words})")
+        self.data[addr] = value
+
+    def read_block(self, addr: int, n_words: int) -> np.ndarray:
+        """Bulk read (used by prefetch fills); returns a *view*."""
+        if addr < 0 or addr + n_words > self.n_words:
+            raise IndexError(f"block read out of range: [{addr}, {addr + n_words})")
+        return self.data[addr : addr + n_words]

@@ -1,0 +1,36 @@
+"""DRAM timing parameters converted to picoseconds."""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import DramConfig
+from repro.engine.clock import period_ps
+
+
+class DramTiming:
+    """Precomputed picosecond timings for one channel configuration.
+
+    >>> from repro.config import DramConfig
+    >>> t = DramTiming(DramConfig())
+    >>> t.t_cas_ps == 9 * t.channel_period_ps
+    True
+    """
+
+    def __init__(self, cfg: DramConfig):
+        self.cfg = cfg
+        self.channel_period_ps = period_ps(cfg.channel_clock_hz)
+        self.t_cas_ps = cfg.t_cas * self.channel_period_ps
+        self.t_rp_ps = cfg.t_rp * self.channel_period_ps
+        self.t_rcd_ps = cfg.t_rcd * self.channel_period_ps
+        self.t_ras_ps = cfg.t_ras * self.channel_period_ps
+
+    def transfer_ps(self, n_bytes: int) -> int:
+        """Data-bus occupancy of an ``n_bytes`` burst."""
+        cycles = math.ceil(n_bytes / self.cfg.channel_bytes_per_cycle)
+        return cycles * self.channel_period_ps
+
+    @property
+    def row_miss_overhead_ps(self) -> int:
+        """Extra latency of a row miss over a row hit (precharge+activate)."""
+        return self.t_rp_ps + self.t_rcd_ps

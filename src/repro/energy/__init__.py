@@ -1,0 +1,5 @@
+"""Component-level energy model (GPUWattch-flavoured, section V)."""
+
+from repro.energy.model import EnergyBreakdown, compute_energy
+
+__all__ = ["EnergyBreakdown", "compute_energy"]

@@ -1,0 +1,129 @@
+"""Energy accounting per architecture (reproduces Fig. 4's structure).
+
+Each run's energy is assembled from event counts collected by the
+simulator:
+
+* **core dynamic** - pipeline + register file per executed instruction,
+  I-cache per fetch (per core-instruction in MIMD, per *warp* instruction
+  in SIMT - GPGPU's structural advantage), and the architecture-specific
+  live-state storage (scratchpad for Millipede, L1D for SSMC/multicore,
+  banked shared memory + crossbar for GPGPU - its structural *dis*advantage).
+* **idle dynamic** - imperfect clock gating charged per idle cycle; this
+  is the component Millipede's rate-matching recovers and the component
+  SIMT divergence inflates on the GPGPU.
+* **DRAM** - 6 pJ/bit transferred (70 pJ/bit for the multicore's off-chip
+  channel) plus a per-activation charge, so poor row locality (SSMC) costs
+  energy even when latency hides it - the paper's PCA/GDA observation.
+* **leakage** - static power x runtime; "Millipede incurs the least static
+  energy due to its shortest run time".
+
+All constants live in :class:`repro.config.EnergyConfig`; only relative
+magnitudes matter for the paper's claims, and the defaults follow the
+standard ordering DRAM >> SRAM > regfile/ALU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SystemConfig
+from repro.engine.stats import Stats
+
+PS_PER_S = 1e12
+PJ_PER_J = 1e12
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component (Fig. 4's stacked bars)."""
+
+    core_dynamic_j: float
+    idle_j: float
+    dram_j: float
+    leakage_j: float
+
+    @property
+    def core_j(self) -> float:
+        """Fig. 4's "core energy" bar = dynamic + idle dynamic."""
+        return self.core_dynamic_j + self.idle_j
+
+    @property
+    def total_j(self) -> float:
+        return self.core_dynamic_j + self.idle_j + self.dram_j + self.leakage_j
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "core_dynamic_j": self.core_dynamic_j,
+            "idle_j": self.idle_j,
+            "dram_j": self.dram_j,
+            "leakage_j": self.leakage_j,
+            "core_j": self.core_j,
+            "total_j": self.total_j,
+        }
+
+
+def _dram_energy_j(cfg: SystemConfig, stats: Stats, prefix: str, pj_per_bit: float) -> float:
+    bits = stats.get(f"{prefix}.words_transferred") * 32
+    activations = stats.get(f"{prefix}.activations")
+    return (bits * pj_per_bit + activations * cfg.dram.activate_pj) / PJ_PER_J
+
+
+def compute_energy(arch: str, cfg: SystemConfig, stats: Stats,
+                   collected: dict[str, float]) -> EnergyBreakdown:
+    """Assemble the per-run energy breakdown for architecture ``arch``
+    (one of the driver's architecture keys)."""
+    e = cfg.energy
+    instructions = collected.get("instructions", 0.0)
+    idle_cycles = collected.get("idle_cycles", 0.0)
+    finish_ps = collected.get("finish_ps", 0.0)
+    runtime_s = finish_ps / PS_PER_S
+
+    per_instr = e.alu_op_pj + e.regfile_pj
+    core_mult = 1.0
+    n_cores = cfg.core.n_cores
+
+    if arch.startswith("multicore"):
+        core_mult = cfg.multicore.core_energy_multiplier
+        n_cores = cfg.multicore.n_cores
+
+    core_pj = instructions * per_instr * core_mult
+    core_pj += collected.get("icache_fetches", 0.0) * e.icache_access_pj
+
+    # live-state / input-path storage energy, by architecture
+    if "shared_mem_accesses" in collected:  # GPGPU / VWS family
+        core_pj += collected["shared_mem_accesses"] * (
+            e.shared_mem_pj + e.shared_mem_crossbar_pj
+        )
+        core_pj += collected.get("l1d_accesses", 0.0) * e.l1d_access_pj
+        if "l1d_accesses" not in collected:
+            # VWS-row: input words come from prefetch-buffer slabs
+            core_pj += (
+                stats.get("pb.hits") + stats.get("pb.fill_waits")
+                + stats.get("pb.evicted_misses")
+            ) * e.prefetch_buffer_pj
+    elif "local_accesses" in collected:  # Millipede
+        core_pj += collected["local_accesses"] * e.local_mem_pj
+        core_pj += (
+            stats.get("pb.hits") + stats.get("pb.fill_waits")
+            + stats.get("pb.evicted_misses")
+        ) * e.prefetch_buffer_pj
+    else:  # SSMC / multicore: everything through the L1D
+        core_pj += collected.get("l1d_accesses", 0.0) * e.l1d_access_pj
+
+    idle_pj = idle_cycles * e.idle_cycle_pj
+
+    prefix = "offchip" if f"offchip.requests" in stats.as_dict() else "dram"
+    pj_bit = (
+        cfg.multicore.offchip_pj_per_bit if prefix == "offchip"
+        else cfg.dram.access_pj_per_bit
+    )
+    dram_j = _dram_energy_j(cfg, stats, prefix, pj_bit)
+
+    leakage_j = e.leakage_w_per_core * n_cores * runtime_s
+
+    return EnergyBreakdown(
+        core_dynamic_j=core_pj / PJ_PER_J,
+        idle_j=idle_pj / PJ_PER_J,
+        dram_j=dram_j,
+        leakage_j=leakage_j,
+    )

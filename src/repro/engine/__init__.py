@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel used by every architecture model.
+
+The engine advances integer picosecond time through a binary heap of events.
+Components (corelets, SMs, memory controllers) run *inline* between their
+interactions with shared state, and touch shared state only through events
+scheduled at their local timestamps; heap ordering therefore preserves
+causality across components even though each runs ahead in its own local
+time between synchronization points.
+"""
+
+from repro.engine.events import Engine, Event
+from repro.engine.clock import Clock, PS_PER_SECOND
+from repro.engine.stats import Stats
+
+__all__ = ["Engine", "Event", "Clock", "Stats", "PS_PER_SECOND"]

@@ -1,0 +1,73 @@
+"""Clock domains.
+
+A :class:`Clock` converts cycle counts to picoseconds.  Millipede's
+rate-matching (paper section IV-F) changes the compute clock at run time, so
+conversions always use the *current* frequency; cumulative cycle counts are
+tracked per frequency so energy accounting can attribute time correctly.
+"""
+
+from __future__ import annotations
+
+PS_PER_SECOND = 1_000_000_000_000
+
+
+def period_ps(freq_hz: float) -> int:
+    """Integer picosecond period of ``freq_hz`` (rounded to nearest ps)."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return max(1, round(PS_PER_SECOND / freq_hz))
+
+
+class Clock:
+    """A (possibly DFS-scaled) clock domain.
+
+    >>> c = Clock(1.2e9)
+    >>> c.period_ps
+    833
+    >>> c.cycles_to_ps(3)
+    2499
+    """
+
+    def __init__(self, freq_hz: float, name: str = "clk"):
+        self.name = name
+        self._freq_hz = 0.0
+        self._period_ps = 0
+        self.set_frequency(freq_hz)
+        #: (frequency, cycles) samples accumulated via :meth:`charge_cycles`
+        self.cycle_log: dict[float, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def freq_hz(self) -> float:
+        return self._freq_hz
+
+    @property
+    def period_ps(self) -> int:
+        return self._period_ps
+
+    def set_frequency(self, freq_hz: float) -> None:
+        self._freq_hz = float(freq_hz)
+        self._period_ps = period_ps(freq_hz)
+
+    # ------------------------------------------------------------------
+    def cycles_to_ps(self, cycles: int) -> int:
+        """Duration of ``cycles`` cycles at the current frequency."""
+        return cycles * self._period_ps
+
+    def ps_to_cycles(self, ps: int) -> int:
+        """Number of whole cycles that fit in ``ps`` at the current frequency."""
+        return ps // self._period_ps
+
+    def charge_cycles(self, cycles: int) -> int:
+        """Record ``cycles`` cycles spent at the current frequency (for
+        frequency-resolved energy/time attribution) and return the elapsed
+        picoseconds."""
+        self.cycle_log[self._freq_hz] = self.cycle_log.get(self._freq_hz, 0) + cycles
+        return cycles * self._period_ps
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycle_log.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Clock {self.name} {self._freq_hz / 1e6:.1f} MHz>"

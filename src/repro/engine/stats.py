@@ -1,0 +1,94 @@
+"""Hierarchical statistics registry.
+
+Every simulated component increments named counters on a shared
+:class:`Stats` object; the experiment harness reads them to produce the
+paper's tables (e.g. Table IV's "SSMC row miss rate" is
+``dram.row_misses / dram.row_accesses``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class Stats:
+    """A flat namespace of counters with dotted names.
+
+    >>> s = Stats()
+    >>> s.inc("dram.row_hits")
+    >>> s.inc("dram.row_hits", 2)
+    >>> s["dram.row_hits"]
+    3
+    >>> s.ratio("dram.row_hits", "dram.row_hits")
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, float] = defaultdict(float)
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def ratio(self, num: str, den: str) -> float:
+        """``num / den`` counter ratio, 0.0 when the denominator is 0."""
+        d = self._counters.get(den, 0.0)
+        return self._counters.get(num, 0.0) / d if d else 0.0
+
+    def scoped(self, prefix: str) -> "ScopedStats":
+        """A view that prepends ``prefix.`` to every counter name."""
+        return ScopedStats(self, prefix)
+
+    def with_prefix(self, prefix: str) -> dict[str, float]:
+        """All counters whose dotted name starts with ``prefix.``."""
+        p = prefix + "."
+        return {k: v for k, v in self._counters.items() if k.startswith(p)}
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def merge(self, other: "Stats") -> None:
+        """Add every counter of ``other`` into this registry."""
+        for k, v in other._counters.items():
+            self._counters[k] += v
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Stats {len(self._counters)} counters>"
+
+
+class ScopedStats:
+    """Prefix-applying proxy so a component can write ``inc("hits")`` and
+    land on ``"l1d.hits"``."""
+
+    __slots__ = ("_stats", "_prefix")
+
+    def __init__(self, stats: Stats, prefix: str):
+        self._stats = stats
+        self._prefix = prefix
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._stats.inc(f"{self._prefix}.{name}", amount)
+
+    def set(self, name: str, value: float) -> None:
+        self._stats.set(f"{self._prefix}.{name}", value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self._stats.get(f"{self._prefix}.{name}", default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._stats[f"{self._prefix}.{name}"]

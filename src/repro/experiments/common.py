@@ -1,0 +1,148 @@
+"""Shared experiment plumbing: cached sweeps, tables, ASCII charts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.cache import ResultCache
+from repro.sim.driver import RunResult, run, run_many
+from repro.workloads.registry import workload_names
+
+#: benchmark order used on every figure's x axis (the paper orders by
+#: instructions per input word; we use the paper's Table IV order and
+#: report our measured insts/word alongside)
+BENCHES = workload_names()
+
+#: Fig. 3 architecture set, in the paper's legend order
+FIG3_ARCHES = ["gpgpu", "vws", "ssmc", "millipede-nofc", "vws-row", "millipede"]
+#: Fig. 4 adds the rate-matched Millipede
+FIG4_ARCHES = ["gpgpu", "vws", "vws-row", "ssmc", "millipede", "millipede-rm"]
+
+
+def cached_run(
+    arch: str,
+    workload: str,
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    seed: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> RunResult:
+    """`run` with optional disk caching keyed on the full configuration."""
+    if cache is not None:
+        hit = cache.get(arch, workload, n_records, seed, config)
+        if hit is not None:
+            return hit
+    result = run(arch, workload, config=config, n_records=n_records, seed=seed)
+    if cache is not None:
+        cache.put(result, n_records, seed, config)
+    return result
+
+
+def sweep(
+    arches: Sequence[str],
+    benches: Sequence[str] = BENCHES,
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    seed: int = 0,
+) -> dict[str, dict[str, RunResult]]:
+    """results[workload][arch] for the full cross product."""
+    out: dict[str, dict[str, RunResult]] = {}
+    for wl in benches:
+        if cache is not None:
+            row = {
+                a: cached_run(a, wl, config, n_records, seed, cache) for a in arches
+            }
+        else:
+            row = run_many(list(arches), wl, config=config, n_records=n_records, seed=seed)
+        out[wl] = row
+    return out
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))
+
+
+# ----------------------------------------------------------------------
+# formatting
+# ----------------------------------------------------------------------
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = "{:.2f}") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(row):
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(list(headers)), sep] + [line(r) for r in cells])
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence], floatfmt: str = "{:.2f}") -> str:
+    def fmt(cell):
+        if isinstance(cell, float):
+            return floatfmt.format(cell)
+        return str(cell)
+
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(fmt(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def ascii_bars(labels: Sequence[str], values: Sequence[float], width: int = 40,
+               unit: str = "x") -> str:
+    """Horizontal ASCII bar chart (for figure-shaped results)."""
+    top = max(values) if values else 1.0
+    lines = []
+    for label, v in zip(labels, values):
+        n = int(round(v / top * width)) if top else 0
+        lines.append(f"{label:>16s} |{'#' * n:<{width}s}| {v:.2f}{unit}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every experiment module returns."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    extra_sections: list[str] = field(default_factory=list)
+
+    def text(self) -> str:
+        parts = [f"== {self.title} ==", format_table(self.headers, self.rows)]
+        parts += self.extra_sections
+        parts += [f"note: {n}" for n in self.notes]
+        return "\n\n".join(parts)
+
+    def markdown(self) -> str:
+        parts = [f"### {self.title}", markdown_table(self.headers, self.rows)]
+        for s in self.extra_sections:
+            parts.append("```\n" + s + "\n```")
+        for n in self.notes:
+            parts.append(f"*{n}*")
+        return "\n\n".join(parts)
+
+
+def default_cache() -> ResultCache:
+    return ResultCache(Path(".repro_cache"))

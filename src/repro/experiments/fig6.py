@@ -1,0 +1,63 @@
+"""Fig. 6: speedup versus system size (section VI-D).
+
+The paper doubles corelets/lanes/cores from 32 to 64 with proportionally
+doubled memory bandwidth and shows Millipede's speedups over both GPGPU
+and SSMC *increase* at 64 (more lanes -> more divergence waste; more cores
+-> more straying).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.experiments.common import BENCHES, ExperimentResult, cached_run, geomean
+from repro.sim.cache import ResultCache
+
+SIZES = [32, 64]
+ARCHES = ["gpgpu", "ssmc", "millipede"]
+
+
+def run_experiment(
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    # results[size][arch][wl]
+    res: dict[int, dict[str, dict[str, float]]] = {}
+    for size in SIZES:
+        cfg = config.scaled_system_size(size)
+        res[size] = {a: {} for a in ARCHES}
+        for wl in BENCHES:
+            for a in ARCHES:
+                r = cached_run(a, wl, cfg, n_records, cache=cache)
+                res[size][a][wl] = r.throughput_words_per_s
+
+    rows = []
+    for wl in BENCHES:
+        row = [wl]
+        for size in SIZES:
+            base = res[size]["gpgpu"][wl]
+            row += [res[size][a][wl] / base for a in ARCHES[1:]]  # ssmc, millipede
+        rows.append(row)
+    means = ["geomean"]
+    for size in SIZES:
+        for a in ARCHES[1:]:
+            means.append(geomean([
+                res[size][a][wl] / res[size]["gpgpu"][wl] for wl in BENCHES
+            ]))
+    rows.append(means)
+
+    m32 = means[2]  # millipede over gpgpu at 32
+    m64 = means[4]  # millipede over gpgpu at 64
+    return ExperimentResult(
+        name="fig6",
+        title="Fig. 6 - speedup over same-size GPGPU vs system size",
+        headers=["benchmark", "ssmc@32", "millipede@32", "ssmc@64", "millipede@64"],
+        rows=rows,
+        notes=[
+            f"millipede-over-gpgpu geomean: {m32:.2f}x at 32 lanes -> "
+            f"{m64:.2f}x at 64 lanes "
+            + ("(grows, as in the paper)" if m64 >= m32 else "(deviation: shrank)"),
+        ],
+    )

@@ -1,0 +1,86 @@
+"""Experiment CLI.
+
+Examples::
+
+    python -m repro.experiments table4
+    python -m repro.experiments fig3 --records 8192
+    python -m repro.experiments all --records 16384 --write-md
+    millipede-exp fig7 --no-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.config import DEFAULT_CONFIG
+from repro.experiments import EXPERIMENTS
+from repro.experiments.common import default_cache
+from repro.experiments.report import write_markdown
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    p.add_argument(
+        "which",
+        choices=list(EXPERIMENTS) + ["all"],
+        help="experiment to run",
+    )
+    p.add_argument(
+        "--records",
+        type=int,
+        default=None,
+        help="records per benchmark (default: each workload's default size)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-simulate even if a cached result exists",
+    )
+    p.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="drop the on-disk result cache first",
+    )
+    p.add_argument(
+        "--write-md",
+        metavar="PATH",
+        nargs="?",
+        const="EXPERIMENTS.md",
+        default=None,
+        help="also write a markdown report (default path: EXPERIMENTS.md)",
+    )
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = None if args.no_cache else default_cache()
+    if args.clear_cache and cache is not None:
+        n = cache.clear()
+        print(f"cleared {n} cached results")
+
+    names = list(EXPERIMENTS) if args.which == "all" else [args.which]
+    results = []
+    for name in names:
+        t0 = time.time()
+        res = EXPERIMENTS[name].run_experiment(
+            DEFAULT_CONFIG, n_records=args.records, cache=cache
+        )
+        results.append(res)
+        print(res.text())
+        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+
+    if args.write_md:
+        path = write_markdown(results, Path(args.write_md))
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Two-pass text assembler for the mini ISA.
+
+Syntax::
+
+    # full-line comment
+    loop:                   # label
+        ldg  r5, r6, 0      # load global word at r6+0 into r5
+        addi r6, r6, 1
+        blt  r6, r7, loop   # branch back while r6 < r7
+        halt
+
+* registers are ``r0`` .. ``r31``; ``r0`` is hard-wired to zero
+* immediates may be decimal ints, floats, or ``0x`` hex
+* branch/jump targets are labels
+* ``;`` separates multiple instructions on one line
+"""
+
+from __future__ import annotations
+
+import re
+from repro.isa.instructions import Instr, Op
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_INLINE_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):(.*)$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class AssemblyError(ValueError):
+    """Raised with file/line context on any parse or resolution failure."""
+
+
+def _parse_reg(tok: str, lineno: int, n_regs: int) -> int:
+    m = _REG_RE.match(tok)
+    if not m:
+        raise AssemblyError(f"line {lineno}: expected register, got {tok!r}")
+    n = int(m.group(1))
+    if not 0 <= n < n_regs:
+        raise AssemblyError(f"line {lineno}: register {tok} out of range (0..{n_regs - 1})")
+    return n
+
+
+def _parse_imm(tok: str, lineno: int) -> float:
+    try:
+        if tok.lower().startswith("0x") or tok.lower().startswith("-0x"):
+            return int(tok, 16)
+        if any(c in tok for c in ".eE") and not tok.lower().startswith("0x"):
+            return float(tok)
+        return int(tok)
+    except ValueError as exc:
+        raise AssemblyError(f"line {lineno}: bad immediate {tok!r}") from exc
+
+
+# operand signatures: d=dest reg, s/t=src regs, i=immediate, L=label
+_SIGNATURES: dict[Op, str] = {
+    Op.ADD: "dst", Op.SUB: "dst", Op.MUL: "dst", Op.DIV: "dst",
+    Op.MIN: "dst", Op.MAX: "dst", Op.IDIV: "dst", Op.REM: "dst",
+    Op.AND: "dst", Op.OR: "dst", Op.XOR: "dst", Op.SLL: "dst", Op.SRL: "dst",
+    Op.SLT: "dst", Op.SLE: "dst", Op.SEQ: "dst", Op.SNE: "dst",
+    Op.ABS: "ds", Op.NEG: "ds", Op.SQRT: "ds", Op.MOV: "ds", Op.TRUNC: "ds",
+    Op.ADDI: "dsi", Op.MULI: "dsi", Op.SLTI: "dsi", Op.ANDI: "dsi",
+    Op.LI: "di",
+    Op.BEQ: "stL", Op.BNE: "stL", Op.BLT: "stL", Op.BGE: "stL",
+    Op.BEQZ: "sL", Op.BNEZ: "sL",
+    Op.J: "L",
+    Op.LDG: "dsi", Op.LDL: "dsi",
+    Op.STG: "sti", Op.STL: "sti",
+    Op.HALT: "", Op.NOP: "", Op.BAR: "",
+}
+
+_MNEMONICS = {op.name.lower(): op for op in Op}
+
+
+def _split_statements(source: str):
+    """Yield (lineno, statement) pairs with comments stripped."""
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        for stmt in line.split(";"):
+            stmt = stmt.strip()
+            if stmt:
+                yield lineno, stmt
+
+
+def assemble(source: str, n_regs: int = 32) -> list[Instr]:
+    """Assemble ``source`` into a list of :class:`Instr` with resolved
+    branch targets and assigned PCs.
+
+    >>> ins = assemble("li r1, 5\\nhalt")
+    >>> [i.op.name for i in ins]
+    ['LI', 'HALT']
+    """
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, list[str]]] = []
+
+    # pass 1: collect labels, tokenize statements
+    pc = 0
+    for lineno, stmt in _split_statements(source):
+        # allow `label:` alone or `label: instr` on one line
+        m = _INLINE_LABEL_RE.match(stmt)
+        if m:
+            name = m.group(1)
+            if name in labels:
+                raise AssemblyError(f"line {lineno}: duplicate label {name!r}")
+            labels[name] = pc
+            stmt = m.group(2).strip()
+            if not stmt:
+                continue
+        parts = stmt.replace(",", " ").split()
+        pending.append((lineno, parts[0].lower(), parts[1:]))
+        pc += 1
+
+    # pass 2: build instructions
+    instrs: list[Instr] = []
+    for lineno, mnem, operands in pending:
+        op = _MNEMONICS.get(mnem)
+        if op is None:
+            raise AssemblyError(f"line {lineno}: unknown mnemonic {mnem!r}")
+        sig = _SIGNATURES[op]
+        if len(operands) != len(sig):
+            raise AssemblyError(
+                f"line {lineno}: {mnem} expects {len(sig)} operands "
+                f"({sig!r}), got {len(operands)}"
+            )
+        ins = Instr(op, text=f"{mnem} {', '.join(operands)}".strip())
+        for kind, tok in zip(sig, operands):
+            if kind == "d":
+                ins.rd = _parse_reg(tok, lineno, n_regs)
+            elif kind == "s":
+                ins.rs = _parse_reg(tok, lineno, n_regs)
+            elif kind == "t":
+                ins.rt = _parse_reg(tok, lineno, n_regs)
+            elif kind == "i":
+                ins.imm = _parse_imm(tok, lineno)
+            elif kind == "L":
+                if not _NAME_RE.match(tok):
+                    raise AssemblyError(f"line {lineno}: bad label {tok!r}")
+                if tok not in labels:
+                    raise AssemblyError(f"line {lineno}: undefined label {tok!r}")
+                ins.target = labels[tok]
+        ins.pc = len(instrs)
+        instrs.append(ins)
+
+    if not instrs:
+        raise AssemblyError("empty program")
+    return instrs

@@ -1,0 +1,110 @@
+"""Control-flow analysis: basic blocks, CFG, immediate post-dominators.
+
+SIMT architectures (GPGPU / VWS) reconverge divergent warps at the
+*immediate post-dominator* of each branch.  We compute it the standard way:
+build the CFG, reverse it, add a virtual exit collecting every ``halt``,
+and run dominator analysis (networkx's ``immediate_dominators``) from the
+virtual exit.  The resulting per-branch reconvergence PC is stored on the
+:class:`~repro.isa.instructions.Instr` so the SIMT divergence stack can be
+driven without re-running any analysis.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.isa.instructions import Instr, Op, BRANCH_OPS
+
+_EXIT = -1  # virtual exit node
+
+
+def leader_pcs(instrs: list[Instr]) -> list[int]:
+    """PCs that start basic blocks (standard leader algorithm)."""
+    leaders = {0}
+    for ins in instrs:
+        if ins.op in BRANCH_OPS:
+            if ins.target is not None:
+                leaders.add(ins.target)
+            if ins.pc + 1 < len(instrs):
+                leaders.add(ins.pc + 1)
+        elif ins.op is Op.J:
+            if ins.target is not None:
+                leaders.add(ins.target)
+            if ins.pc + 1 < len(instrs):
+                leaders.add(ins.pc + 1)
+    return sorted(pc for pc in leaders if pc < len(instrs))
+
+
+def build_cfg(instrs: list[Instr]) -> tuple[nx.DiGraph, dict[int, int]]:
+    """CFG whose nodes are block-leader PCs plus a virtual exit (-1).
+
+    Returns ``(graph, block_of)`` where ``block_of[pc]`` is the leader PC of
+    the block containing ``pc``."""
+    leaders = leader_pcs(instrs)
+    leader_set = set(leaders)
+    g = nx.DiGraph()
+    g.add_nodes_from(leaders)
+    g.add_node(_EXIT)
+
+    # map every pc to its block leader
+    block_of: dict[int, int] = {}
+    current = leaders[0]
+    for pc in range(len(instrs)):
+        if pc in leader_set:
+            current = pc
+        block_of[pc] = current
+
+    for pc in range(len(instrs)):
+        ins = instrs[pc]
+        last_in_block = pc + 1 >= len(instrs) or (pc + 1) in leader_set
+        if not last_in_block:
+            continue
+        src = block_of[pc]
+        if ins.op in BRANCH_OPS:
+            g.add_edge(src, block_of[ins.target])
+            if pc + 1 < len(instrs):
+                g.add_edge(src, block_of[pc + 1])
+            else:
+                g.add_edge(src, _EXIT)
+        elif ins.op is Op.J:
+            g.add_edge(src, block_of[ins.target])
+        elif ins.op is Op.HALT:
+            g.add_edge(src, _EXIT)
+        else:
+            if pc + 1 < len(instrs):
+                g.add_edge(src, block_of[pc + 1])
+            else:
+                g.add_edge(src, _EXIT)
+    return g, block_of
+
+
+def immediate_postdominators(instrs: list[Instr]) -> dict[int, int]:
+    """Map block-leader pc -> its immediate post-dominator leader pc.
+
+    The virtual exit post-dominates everything; blocks whose ipdom is the
+    exit map to ``len(instrs)`` (treated as "reconverge at termination").
+    """
+    g, _ = build_cfg(instrs)
+    ipdom = nx.immediate_dominators(g.reverse(copy=True), _EXIT)
+    out: dict[int, int] = {}
+    for node, dom in ipdom.items():
+        if node == _EXIT:
+            continue
+        out[node] = len(instrs) if dom == _EXIT else dom
+    return out
+
+
+def annotate_reconvergence(instrs: list[Instr]) -> None:
+    """Fill ``Instr.reconv`` for every conditional branch in place."""
+    g, block_of = build_cfg(instrs)
+    ipdom = nx.immediate_dominators(g.reverse(copy=True), _EXIT)
+    n = len(instrs)
+    for ins in instrs:
+        if ins.op in BRANCH_OPS:
+            block = block_of[ins.pc]
+            dom = ipdom.get(block, _EXIT)
+            ins.reconv = n if dom == _EXIT else dom
+
+
+def branch_count(instrs: list[Instr]) -> int:
+    return sum(1 for ins in instrs if ins.op in BRANCH_OPS)

@@ -1,0 +1,146 @@
+"""Instruction set definition.
+
+The ISA is deliberately small (~40 opcodes): integer/float ALU operations,
+conditional branches, loads/stores to two address spaces, and ``halt``.
+Registers are untyped numeric (Python int/float); arithmetic opcodes are
+generic over both except for the explicitly integer operations (shifts,
+bitwise, ``idiv``/``rem``) and explicit conversion (``trunc``).
+
+Address spaces
+--------------
+* **global** (``ldg``/``stg``) - the die-stacked DRAM holding the input
+  dataset, word-addressed (4-byte words).  Global accesses are routed
+  through each architecture's input path (prefetch buffer, L1 D-cache, ...).
+* **local**  (``ldl``/``stl``) - the thread's private live-state space.
+  Each architecture translates thread-private local addresses onto its
+  physical structure (Millipede corelet scratchpad, GPGPU banked shared
+  memory, SSMC L1-D-resident state).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+
+class Op(IntEnum):
+    """Opcodes.  Grouped so classification predicates are range checks."""
+
+    # --- generic numeric ALU (register-register) ---
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3  # true division
+    MIN = 4
+    MAX = 5
+    ABS = 6
+    NEG = 7
+    SQRT = 8
+    MOV = 9
+    # --- integer-only ALU ---
+    IDIV = 10  # floor division
+    REM = 11
+    AND = 12
+    OR = 13
+    XOR = 14
+    SLL = 15
+    SRL = 16
+    TRUNC = 17  # float -> int truncation
+    # --- comparisons (write 0/1) ---
+    SLT = 18
+    SLE = 19
+    SEQ = 20
+    SNE = 21
+    # --- immediates ---
+    LI = 22
+    ADDI = 23
+    MULI = 24
+    SLTI = 25
+    ANDI = 26
+    # --- branches ---
+    BEQ = 27
+    BNE = 28
+    BLT = 29
+    BGE = 30
+    BEQZ = 31
+    BNEZ = 32
+    J = 33
+    # --- memory ---
+    LDG = 34  # load global (input data)
+    STG = 35  # store global
+    LDL = 36  # load local (live state)
+    STL = 37  # store local
+    # --- misc ---
+    HALT = 38
+    NOP = 39
+    #: software barrier across a processor's threads (the record-granularity
+    #: barrier ablation of sections IV-C / VI-A); SIMT models treat it as NOP
+    BAR = 40
+
+
+#: opcodes that read two source registers
+_TWO_SRC = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MIN, Op.MAX, Op.IDIV, Op.REM,
+    Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.SLT, Op.SLE, Op.SEQ, Op.SNE,
+}
+_ONE_SRC = {Op.ABS, Op.NEG, Op.SQRT, Op.MOV, Op.TRUNC, Op.ADDI, Op.MULI, Op.SLTI, Op.ANDI}
+
+ALU_OPS = frozenset(_TWO_SRC | _ONE_SRC | {Op.LI, Op.NOP})
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BEQZ, Op.BNEZ})
+CONTROL_OPS = frozenset(BRANCH_OPS | {Op.J, Op.HALT})
+MEMORY_OPS = frozenset({Op.LDG, Op.STG, Op.LDL, Op.STL})
+GLOBAL_MEM_OPS = frozenset({Op.LDG, Op.STG})
+LOCAL_MEM_OPS = frozenset({Op.LDL, Op.STL})
+
+
+def is_branch(op: Op) -> bool:
+    return op in BRANCH_OPS
+
+
+def is_memory(op: Op) -> bool:
+    return op in MEMORY_OPS
+
+
+class Instr:
+    """One decoded instruction.
+
+    Fields are positional by role rather than encoding:
+
+    * ``rd``  - destination register (ALU/loads)
+    * ``rs``  - first source register (also address base for memory ops,
+      and the *value* register for stores)
+    * ``rt``  - second source register (also address base for stores)
+    * ``imm`` - immediate (numeric literal or address offset)
+    * ``target`` - branch/jump target PC (resolved by the assembler)
+    * ``reconv`` - SIMT reconvergence PC (immediate post-dominator, filled
+      by :mod:`repro.isa.cfg`)
+    """
+
+    __slots__ = ("op", "rd", "rs", "rt", "imm", "target", "reconv", "text", "pc")
+
+    def __init__(
+        self,
+        op: Op,
+        rd: int = 0,
+        rs: int = 0,
+        rt: int = 0,
+        imm: float = 0,
+        target: Optional[int] = None,
+        text: str = "",
+    ):
+        self.op = op
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self.imm = imm
+        self.target = target
+        self.reconv: Optional[int] = None
+        self.text = text
+        self.pc: int = -1  # assigned when placed in a Program
+
+    # encoded size used for code-footprint accounting (section IV-A: code
+    # under 4 KB, broadcast once)
+    ENCODED_BYTES = 4
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Instr {self.pc}: {self.text or self.op.name}>"

@@ -1,0 +1,79 @@
+"""Program container: assembled instructions + static analyses."""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.cfg import annotate_reconvergence, branch_count
+from repro.isa.instructions import Instr, BRANCH_OPS, GLOBAL_MEM_OPS, LOCAL_MEM_OPS
+
+
+class Program:
+    """An assembled kernel ready to execute on any architecture model.
+
+    >>> p = Program.from_source("li r1, 3\\nhalt", name="tiny")
+    >>> len(p)
+    2
+    >>> p.code_bytes
+    8
+    """
+
+    def __init__(self, instrs: list[Instr], name: str = "kernel"):
+        if not instrs:
+            raise ValueError("program must contain at least one instruction")
+        self.name = name
+        self.instrs = instrs
+        for pc, ins in enumerate(instrs):
+            ins.pc = pc
+        self._validate_targets()
+        annotate_reconvergence(instrs)
+
+    @classmethod
+    def from_source(cls, source: str, name: str = "kernel", n_regs: int = 32) -> "Program":
+        return cls(assemble(source, n_regs=n_regs), name=name)
+
+    def _validate_targets(self) -> None:
+        n = len(self.instrs)
+        for ins in self.instrs:
+            if ins.target is not None and not 0 <= ins.target < n:
+                raise ValueError(
+                    f"{self.name}: instruction {ins.pc} ({ins.text}) targets "
+                    f"pc {ins.target}, outside [0, {n})"
+                )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __getitem__(self, pc: int) -> Instr:
+        return self.instrs[pc]
+
+    @property
+    def code_bytes(self) -> int:
+        """Encoded footprint; the paper broadcasts code once (section IV-A)
+        and assumes it stays under the 4 KB I-cache."""
+        return len(self.instrs) * Instr.ENCODED_BYTES
+
+    @property
+    def static_branches(self) -> int:
+        return branch_count(self.instrs)
+
+    @property
+    def static_global_accesses(self) -> int:
+        return sum(1 for i in self.instrs if i.op in GLOBAL_MEM_OPS)
+
+    @property
+    def static_local_accesses(self) -> int:
+        return sum(1 for i in self.instrs if i.op in LOCAL_MEM_OPS)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with reconvergence annotations."""
+        lines = []
+        for ins in self.instrs:
+            extra = ""
+            if ins.op in BRANCH_OPS and ins.reconv is not None:
+                extra = f"    ; reconv @ {ins.reconv}"
+            lines.append(f"{ins.pc:4d}: {ins.text}{extra}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Program {self.name}: {len(self.instrs)} instrs>"

@@ -1,0 +1,14 @@
+"""Input-data layouts (section III-B).
+
+BMLA parallelism is inter-record, so a plain array-of-structs layout would
+spread simultaneously-accessed records over different DRAM rows.  All
+evaluated architectures therefore use the *interleaved*
+"array-of-structs-of-arrays" layout: records are grouped into blocks, and
+within a block each field is stored contiguously, so the same field of
+consecutive records falls in the same memory row.
+"""
+
+from repro.layout.interleaved import InterleavedLayout
+from repro.layout.aos import ArrayOfStructsLayout
+
+__all__ = ["InterleavedLayout", "ArrayOfStructsLayout"]

@@ -1,0 +1,55 @@
+"""Plain array-of-structs layout.
+
+Kept for the layout ablation (section III-B argues this layout destroys
+row locality under inter-record parallelism): consecutive *threads* access
+records whose words are ``n_fields`` apart, so a 32-thread gang touches a
+``32 x n_fields``-word span per step and different fields of one record sit
+adjacent instead of different records' same field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ArrayOfStructsLayout:
+    """``addr(r, f) = base + r * F + f``.
+
+    >>> lay = ArrayOfStructsLayout(n_records=4, n_fields=3)
+    >>> lay.addr(1, 2)
+    5
+    """
+
+    def __init__(self, n_records: int, n_fields: int, base: int = 0):
+        if n_fields < 1:
+            raise ValueError("records need at least one field")
+        self.n_records = n_records
+        self.n_fields = n_fields
+        self.base = base
+
+    @property
+    def total_words(self) -> int:
+        return self.n_records * self.n_fields
+
+    @property
+    def end(self) -> int:
+        return self.base + self.total_words
+
+    def addr(self, record: int, field: int) -> int:
+        if not 0 <= record < self.n_records:
+            raise IndexError(f"record {record} out of range")
+        if not 0 <= field < self.n_fields:
+            raise IndexError(f"field {field} out of range")
+        return self.base + record * self.n_fields + field
+
+    def pack(self, fields: list[np.ndarray]) -> np.ndarray:
+        if len(fields) != self.n_fields:
+            raise ValueError(f"expected {self.n_fields} field arrays, got {len(fields)}")
+        image = np.empty((self.n_records, self.n_fields), dtype=np.float64)
+        for f, arr in enumerate(fields):
+            image[:, f] = np.asarray(arr, dtype=np.float64)
+        return image.reshape(-1)
+
+    def unpack(self, image: np.ndarray) -> list[np.ndarray]:
+        cube = np.asarray(image).reshape(self.n_records, self.n_fields)
+        return [cube[:, f].copy() for f in range(self.n_fields)]

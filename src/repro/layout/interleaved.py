@@ -1,0 +1,78 @@
+"""Interleaved ("array of structs of arrays") layout.
+
+Records are grouped into blocks of ``block_records`` records; within a
+block, field ``f`` of all records is contiguous::
+
+    addr(r, f) = base + (r // B) * F * B  +  f * B  +  (r % B)
+
+With ``B`` equal to the DRAM row's word count (the paper's configuration),
+each row holds exactly one field of one block, and thread ``t`` of ``T``
+(processing records ``t, t+T, ...``) touches a fixed ``B/T``-word slice of
+every row - the slab structure Millipede's prefetch buffer is built around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class InterleavedLayout:
+    """Address generator + memory-image packer.
+
+    >>> lay = InterleavedLayout(n_records=1024, n_fields=2, block_records=512)
+    >>> lay.addr(0, 0), lay.addr(0, 1), lay.addr(512, 0)
+    (0, 512, 1024)
+    >>> lay.total_words
+    2048
+    """
+
+    def __init__(self, n_records: int, n_fields: int, block_records: int, base: int = 0):
+        if n_records % block_records:
+            raise ValueError(
+                f"{n_records} records not divisible into blocks of {block_records} "
+                "(pad the dataset; row-dense processing cannot skip tail gaps)"
+            )
+        if n_fields < 1:
+            raise ValueError("records need at least one field")
+        self.n_records = n_records
+        self.n_fields = n_fields
+        self.block_records = block_records
+        self.base = base
+        self.n_blocks = n_records // block_records
+
+    @property
+    def total_words(self) -> int:
+        return self.n_records * self.n_fields
+
+    @property
+    def end(self) -> int:
+        return self.base + self.total_words
+
+    def addr(self, record: int, field: int) -> int:
+        if not 0 <= record < self.n_records:
+            raise IndexError(f"record {record} out of range")
+        if not 0 <= field < self.n_fields:
+            raise IndexError(f"field {field} out of range")
+        b, i = divmod(record, self.block_records)
+        return self.base + b * self.n_fields * self.block_records + field * self.block_records + i
+
+    def pack(self, fields: list[np.ndarray]) -> np.ndarray:
+        """Build the memory image from per-field record arrays.
+
+        ``fields[f][r]`` is field *f* of record *r*.  Fully vectorized:
+        reshape each field into (blocks, B) and interleave block-major.
+        """
+        if len(fields) != self.n_fields:
+            raise ValueError(f"expected {self.n_fields} field arrays, got {len(fields)}")
+        B = self.block_records
+        image = np.empty((self.n_blocks, self.n_fields, B), dtype=np.float64)
+        for f, arr in enumerate(fields):
+            if len(arr) != self.n_records:
+                raise ValueError(f"field {f} has {len(arr)} records, expected {self.n_records}")
+            image[:, f, :] = np.asarray(arr, dtype=np.float64).reshape(self.n_blocks, B)
+        return image.reshape(-1)
+
+    def unpack(self, image: np.ndarray) -> list[np.ndarray]:
+        """Inverse of :meth:`pack` (used by round-trip property tests)."""
+        cube = np.asarray(image).reshape(self.n_blocks, self.n_fields, self.block_records)
+        return [cube[:, f, :].reshape(-1).copy() for f in range(self.n_fields)]

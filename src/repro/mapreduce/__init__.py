@@ -1,0 +1,22 @@
+"""MapReduce execution model (sections III-A, IV-D).
+
+BMLAs are MapReductions: each hardware thread is a Map task with a partial
+Reduce into its private live state; the host CPU performs the per-node
+Reduce over all processors' thread states; the cluster network carries the
+global final Reduce.  The PNM part is simulated cycle-accurately by
+:mod:`repro.sim`; this package adds the host/cluster layers as cost models
+plus *real* reductions (the data actually gets combined), so end-to-end
+MapReduce jobs over the simulated node produce checked results.
+"""
+
+from repro.mapreduce.framework import MapReduceJob, NodeResult
+from repro.mapreduce.host import host_reduce, node_reduce_seconds
+from repro.mapreduce.shuffle import ClusterModel
+
+__all__ = [
+    "MapReduceJob",
+    "NodeResult",
+    "host_reduce",
+    "node_reduce_seconds",
+    "ClusterModel",
+]

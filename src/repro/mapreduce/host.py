@@ -1,0 +1,39 @@
+"""Host-CPU per-node Reduce (section IV-D).
+
+"The host CPU performs the per-node Reduce, as observed in [10], [13]...
+Map and partial Reduce of tens of millions of records in each node take a
+few seconds versus per-node Reduce across 32 Millipede processors of a
+node takes hundreds of microseconds."
+
+The reduce itself is performed for real (NumPy sum over per-thread
+states); its *cost* is modelled with a simple host throughput parameter so
+Fig. 5 and the cluster model can budget it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: effective host reduction throughput: words combined per second.  A few
+#: GB/s of streaming adds on one host core - deliberately conservative.
+HOST_REDUCE_WORDS_PER_S = 2e9
+#: fixed per-reduce overhead (kernel launch / driver / copy setup)
+HOST_REDUCE_FIXED_S = 10e-6
+
+
+def node_reduce_seconds(state_words: int, n_threads: int,
+                        words_per_s: float = HOST_REDUCE_WORDS_PER_S) -> float:
+    """Time for the host to combine ``n_threads`` partial states of
+    ``state_words`` words each (the paper: hundreds of microseconds for a
+    32-processor node)."""
+    return HOST_REDUCE_FIXED_S + state_words * n_threads / words_per_s
+
+
+def host_reduce(thread_states: list[np.ndarray]) -> np.ndarray:
+    """The actual per-node reduce: elementwise sum of partial states.
+
+    Correct for every bundled workload because each keeps additive
+    sufficient statistics (counts, sums, sums of products); workloads with
+    non-additive slots (sample's kept elements) override
+    :meth:`repro.workloads.base.Workload.reduce` instead of using this."""
+    return np.sum(thread_states, axis=0)

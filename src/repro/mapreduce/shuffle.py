@@ -1,0 +1,38 @@
+"""Cluster-level shuffle and final Reduce cost model (sections III-A, IV-D).
+
+"The global final Reduce across 5000 nodes of a cluster takes tens of
+milliseconds."  We model the cross-cluster shuffle as a reduction tree over
+the datacenter network; the numbers only need to support the paper's
+qualitative point - the final Reduce is negligible next to the Map phase.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """Datacenter parameters for the final Reduce."""
+
+    n_nodes: int = 5000
+    link_bytes_per_s: float = 10e9 / 8  # 10 Gb/s
+    per_hop_latency_s: float = 50e-6
+    fanin: int = 16  #: reduction-tree arity
+
+    def tree_depth(self) -> int:
+        if self.n_nodes <= 1:
+            return 0
+        return math.ceil(math.log(self.n_nodes, self.fanin))
+
+    def final_reduce_seconds(self, state_bytes: int) -> float:
+        """Latency of the global final Reduce of one ``state_bytes`` blob
+        through a ``fanin``-ary reduction tree."""
+        depth = self.tree_depth()
+        per_level = self.per_hop_latency_s + state_bytes * self.fanin / self.link_bytes_per_s
+        return depth * per_level
+
+    def shuffle_bytes(self, state_bytes: int) -> int:
+        """Total bytes moved by the final Reduce (every node sends once)."""
+        return state_bytes * max(0, self.n_nodes - 1)

@@ -1,0 +1,28 @@
+"""On-processor-die memory structures.
+
+All three PNM architectures get the same 160 KB on-die budget (Table III):
+
+* Millipede: 4 KB local memory + 1 KB prefetch-buffer slice per corelet
+  (:mod:`local_memory`, :mod:`prefetch_buffer`)
+* SSMC: 5 KB L1 D-cache per core (:mod:`dcache` + :mod:`prefetcher`)
+* GPGPU SM: 32 KB L1-D + 128 KB banked shared memory
+  (:mod:`dcache`, :mod:`shared_memory`)
+"""
+
+from repro.mem.local_memory import LocalMemory
+from repro.mem.icache import ICacheModel
+from repro.mem.dcache import SetAssocCache
+from repro.mem.shared_memory import BankedSharedMemory
+from repro.mem.prefetcher import SequentialPrefetcher, BlockStream
+from repro.mem.prefetch_buffer import PrefetchBuffer, PBAccessResult
+
+__all__ = [
+    "LocalMemory",
+    "ICacheModel",
+    "SetAssocCache",
+    "BankedSharedMemory",
+    "SequentialPrefetcher",
+    "BlockStream",
+    "PrefetchBuffer",
+    "PBAccessResult",
+]

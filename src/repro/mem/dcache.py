@@ -1,0 +1,92 @@
+"""Set-associative L1 D-cache with LRU replacement.
+
+Used for input-data cache blocks in SSMC (5 KB/core) and the GPGPU SM
+(32 KB/SM).  The cache tracks *presence and recency* only; data values are
+read from the global backing store at consumption time (input data is
+read-only during the Map phase, so presence tracking is value-exact).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class SetAssocCache:
+    """Block-granular set-associative cache.
+
+    Addresses are *word* addresses; the cache works on block-aligned tags.
+
+    >>> c = SetAssocCache(total_bytes=512, line_bytes=128, assoc=2)
+    >>> c.access(0)
+    False
+    >>> c.insert(0)
+    >>> c.access(0)
+    True
+    """
+
+    def __init__(self, total_bytes: int, line_bytes: int, assoc: int, word_bytes: int = 4):
+        if total_bytes % (line_bytes * assoc):
+            raise ValueError(
+                f"cache geometry invalid: {total_bytes}B total, "
+                f"{line_bytes}B lines, {assoc}-way"
+            )
+        self.line_words = line_bytes // word_bytes
+        self.assoc = assoc
+        self.n_sets = total_bytes // (line_bytes * assoc)
+        # per-set OrderedDict acting as an LRU list: oldest first
+        self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def block_of(self, word_addr: int) -> int:
+        """Block tag (block index) containing ``word_addr``."""
+        return word_addr // self.line_words
+
+    def block_base(self, block: int) -> int:
+        return block * self.line_words
+
+    def _set_of(self, block: int) -> OrderedDict:
+        return self._sets[block % self.n_sets]
+
+    # ------------------------------------------------------------------
+    def access(self, word_addr: int) -> bool:
+        """Demand lookup; updates LRU and hit/miss counters."""
+        block = self.block_of(word_addr)
+        s = self._set_of(block)
+        if block in s:
+            s.move_to_end(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, word_addr: int) -> bool:
+        """Probe without perturbing LRU or counters."""
+        block = self.block_of(word_addr)
+        return block in self._set_of(block)
+
+    def insert(self, word_addr: int) -> Optional[int]:
+        """Fill the block containing ``word_addr``; returns the evicted
+        block tag, if any."""
+        block = self.block_of(word_addr)
+        s = self._set_of(block)
+        if block in s:
+            s.move_to_end(block)
+            return None
+        victim = None
+        if len(s) >= self.assoc:
+            victim, _ = s.popitem(last=False)
+            self.evictions += 1
+        s[block] = None
+        return victim
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0

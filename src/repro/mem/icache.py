@@ -1,0 +1,26 @@
+"""Instruction-cache accounting.
+
+BMLA kernels are tiny (the paper: under 4 KB, broadcast once at launch), so
+the I-cache never misses after warm-up and has no timing effect.  What it
+*does* affect is energy: MIMD architectures (Millipede, SSMC) pay one
+I-cache access per core per instruction, while SIMT amortizes one access
+over all active lanes of a warp - one of GPGPU's two structural energy
+advantages the paper calls out in section III-E and accounts for in Fig. 4.
+"""
+
+from __future__ import annotations
+
+
+class ICacheModel:
+    """Counts instruction fetches; warns if the kernel exceeds capacity."""
+
+    def __init__(self, capacity_bytes: int, code_bytes: int):
+        self.capacity_bytes = capacity_bytes
+        self.code_bytes = code_bytes
+        self.fetches = 0
+        #: a kernel bigger than the I-cache would stream misses; the BMLA
+        #: premise (compute-light) says this never happens - make it loud.
+        self.fits = code_bytes <= capacity_bytes
+
+    def fetch(self, n: int = 1) -> None:
+        self.fetches += n

@@ -1,0 +1,54 @@
+"""Per-corelet scratchpad (Millipede local memory, Cell-style, section IV-A).
+
+Holds the partially-reduced live state.  Word-addressed, single-cycle, no
+tags - the compiler (here: the workload's ABI setup) guarantees the state
+fits, which the constructor enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WORD_BYTES
+
+
+class LocalMemory:
+    """Word-addressed scratchpad.
+
+    >>> lm = LocalMemory(64)
+    >>> lm.write(3, 7)
+    >>> lm.read(3)
+    7.0
+    """
+
+    def __init__(self, n_words: int):
+        if n_words <= 0:
+            raise ValueError(f"scratchpad size must be positive, got {n_words}")
+        self.n_words = n_words
+        self.data = np.zeros(n_words, dtype=np.float64)
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def n_bytes(self) -> int:
+        return self.n_words * WORD_BYTES
+
+    def read(self, addr: int) -> float:
+        if not 0 <= addr < self.n_words:
+            raise IndexError(f"local read out of range: {addr} (size {self.n_words})")
+        self.reads += 1
+        return float(self.data[addr])
+
+    def write(self, addr: int, value: float) -> None:
+        if not 0 <= addr < self.n_words:
+            raise IndexError(f"local write out of range: {addr} (size {self.n_words})")
+        self.writes += 1
+        self.data[addr] = value
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the contents (the host copy-out of section IV-E)."""
+        return self.data.copy()
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes

@@ -1,0 +1,341 @@
+"""Millipede's flow-controlled cross-corelet row prefetch buffer (§IV-B/C).
+
+Mechanism (paper terminology):
+
+* The buffer is a circular queue of entries; each entry holds one full DRAM
+  row, split into one 64 B *slab* per corelet so every corelet accesses only
+  its private slice (full parallel bandwidth, simple interconnect).
+* Each entry carries a *prefetch-trigger (PFT)* full-empty bit: the first
+  demand access to an entry clears it and triggers the prefetch of the next
+  sequential row into a newly allocated tail entry; later demand accesses
+  do not re-trigger (like an MSHR).
+* Each entry carries a *demand-fetch (DF)* counter that saturates at the
+  corelet count.  We increment it when a corelet finishes consuming its
+  slab (the paper: saturation "indicat[es] that the entry has been consumed
+  fully").  The head entry may be re-allocated only when saturated.
+* **Flow control**: when the queue is full and the head is unsaturated, a
+  trigger is *deferred* - the PFT bit stays set and a later demand fetch to
+  the tail entry retries (Fig. 2's timeline).  Because corelets consume
+  rows in order, the last corelet to saturate the head still has tail
+  accesses ahead of it, so a deferred trigger is always eventually retried.
+* **Without flow control** (`Millipede-no-flow-control`): the trigger
+  evicts the head even when unsaturated; lagging corelets that still
+  needed the evicted row fall back to block-granular demand fetches from
+  DRAM (exposed latency + extra activations), which is precisely the
+  pathology the paper's Fig. 3 isolates.
+
+Rate-matching hooks: ``on_empty_wait`` fires when a demand access finds its
+entry's fill still in flight (memory-bound → clock down), ``on_full_defer``
+fires on a flow-control deferral (compute lagging consumption → clock up).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.dram.controller import MemoryController, DramRequest
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+
+#: result codes for demand accesses (returned to the corelet via callback
+#: arguments; kept as a class for self-documenting stats)
+class PBAccessResult:
+    HIT = "hit"
+    FILL_WAIT = "fill_wait"
+    ALLOC_WAIT = "alloc_wait"
+    EVICTED_MISS = "evicted_miss"
+
+
+class _Entry:
+    __slots__ = ("row", "fill_done_ps", "pft", "df_count", "consumed", "fill_waiters")
+
+    def __init__(self, row: int, n_corelets: int):
+        self.row = row
+        self.fill_done_ps: Optional[int] = None  # None while the fill is in flight
+        self.pft = True
+        self.df_count = 0
+        self.consumed = [0] * n_corelets
+        #: (corelet_id, callback) pairs blocked on this entry's fill
+        self.fill_waiters: list[tuple[int, Callable[[int, str], None]]] = []
+
+
+class PrefetchBuffer:
+    """One Millipede processor's prefetch buffer (all corelets' slices)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        mc: MemoryController,
+        stats: Stats,
+        *,
+        n_corelets: int,
+        n_entries: int,
+        row_words: int,
+        flow_control: bool = True,
+        demand_block_words: int = 16,
+        init_depth: int = 4,
+        prefetch_ahead: int = 4,
+        record_row_span: int = 1,
+        name: str = "pb",
+    ):
+        if row_words % n_corelets:
+            raise ValueError(
+                f"row of {row_words} words not divisible into {n_corelets} slabs"
+            )
+        self.engine = engine
+        self.mc = mc
+        self.stats = stats.scoped(name)
+        self.n_corelets = n_corelets
+        self.n_entries = n_entries
+        self.row_words = row_words
+        self.slab_words = row_words // n_corelets
+        self.flow_control = flow_control
+        self.demand_block_words = demand_block_words
+        self.init_depth = max(1, min(init_depth, n_entries))
+        #: rows to run ahead of the newest first-touched row ("we can
+        #: prefetch one more row ahead... hints from software about how far
+        #: ahead to prefetch", section IV-C); must hide one row's fetch time
+        self.prefetch_ahead = max(1, min(prefetch_ahead, n_entries - 1))
+        #: rows one record's field sweep spans (= field count with the
+        #: row-sized interleaved blocks).  When the buffer can hold a whole
+        #: sweep plus slack, a corelet that outruns allocation may safely
+        #: *wait* (the paper's "short waiting"); otherwise it must fall back
+        #: to a demand fetch or the whole processor can deadlock.
+        self.record_row_span = max(1, record_row_span)
+        self._wait_is_safe = n_entries > self.record_row_span
+        self._alloc_waiters: list[tuple[int, int, Callable[[int, str], None]]] = []
+
+        self.entries: deque[_Entry] = deque()
+        self._by_row: dict[int, _Entry] = {}
+        self.first_row = 0
+        self.last_row = -1
+        self._next_row = 0  # next sequential row to prefetch
+        #: MSHRs for fallback demand fetches: block -> callbacks
+        self._demand_inflight: dict[int, list[Callable[[int, str], None]]] = {}
+        #: per-corelet consumption of rows demand-fetched *before* their
+        #: allocation (multi-row records can outrun a small buffer); folded
+        #: into the entry's DF accounting when the row is finally allocated
+        self._preconsumed: dict[int, list[int]] = {}
+
+        # rate-matching signal hooks
+        self.on_empty_wait: Optional[Callable[[], None]] = None
+        self.on_full_defer: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def start(self, first_row: int, last_row: int) -> None:
+        """Begin streaming rows ``first_row..last_row`` (inclusive)."""
+        if last_row < first_row:
+            raise ValueError(f"empty row range [{first_row}, {last_row}]")
+        self.first_row = first_row
+        self.last_row = last_row
+        self._next_row = first_row
+        for _ in range(self.init_depth):
+            if self._next_row > last_row:
+                break
+            self._allocate_next()
+
+    # ------------------------------------------------------------------
+    # the corelet-facing demand path (must be called as an engine event)
+    # ------------------------------------------------------------------
+    def demand_access(self, corelet_id: int, addr: int,
+                      on_ready: Callable[[int, str], None]) -> None:
+        """Demand fetch of global word ``addr`` by ``corelet_id``.
+
+        ``on_ready(ready_ps, result_code)`` fires when the data is
+        available (possibly immediately).
+        """
+        row = addr // self.row_words
+        entry = self._by_row.get(row)
+        if entry is not None:
+            # rate-matching "full" observation: memory is comfortably ahead
+            # when even the newest allocated row is already filled (checked
+            # before triggering, which allocates fresh in-flight rows)
+            if (self.on_full_defer is not None
+                    and self.entries[-1].fill_done_ps is not None
+                    and self.entries[-1].fill_done_ps <= self.engine.now):
+                self.on_full_defer()
+            if entry.pft:
+                # first demand access to this entry: clear PFT (possibly
+                # deferred under flow control) and trigger the next prefetch
+                self._try_trigger(entry)
+            if entry.fill_done_ps is not None and entry.fill_done_ps <= self.engine.now:
+                self.stats.inc("hits")
+                self._consume(corelet_id, entry)
+                on_ready(self.engine.now, PBAccessResult.HIT)
+            else:
+                # prefetch in flight: the corelet has outrun memory
+                self.stats.inc("fill_waits")
+                if self.on_empty_wait is not None:
+                    self.on_empty_wait()
+                entry.fill_waiters.append((corelet_id, on_ready))
+            return
+
+        if row > self.last_row or row < self.first_row:
+            raise IndexError(
+                f"demand access to row {row} outside streamed range "
+                f"[{self.first_row}, {self.last_row}]"
+            )
+        head_row = self.entries[0].row if self.entries else self._next_row
+        if row >= head_row:
+            # ahead of the allocated window: try to pull allocation forward
+            # (this is the leading corelet's short wait when the queue has
+            # room), otherwise fall back to a direct DRAM demand fetch - a
+            # multi-row record can legitimately outrun a small buffer, and
+            # the buffer is an optimization, never the only path to memory
+            self._advance_allocation(row)
+            entry = self._by_row.get(row)
+            if entry is not None:
+                if entry.fill_done_ps is not None and entry.fill_done_ps <= self.engine.now:
+                    self.stats.inc("hits")
+                    self._consume(corelet_id, entry)
+                    on_ready(self.engine.now, PBAccessResult.HIT)
+                else:
+                    self.stats.inc("alloc_waits")
+                    entry.fill_waiters.append((corelet_id, on_ready))
+            elif self._wait_is_safe:
+                # the leading corelet's short wait (Fig. 2): a laggard can
+                # always drain the head because the buffer holds a whole
+                # record sweep, so allocation is guaranteed to advance
+                self.stats.inc("alloc_waits")
+                if self.flow_control and self.on_full_defer is not None:
+                    self.on_full_defer()
+                self._alloc_waiters.append((corelet_id, row, on_ready))
+            else:
+                self.stats.inc("ahead_misses")
+                if self.flow_control and self.on_full_defer is not None:
+                    self.on_full_defer()
+                pre = self._preconsumed.setdefault(row, [0] * self.n_corelets)
+                pre[corelet_id] += 1
+                self._demand_fetch(addr, on_ready)
+        else:
+            # the row was (prematurely) evicted: fall back to DRAM
+            self.stats.inc("evicted_misses")
+            self._demand_fetch(addr, on_ready)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _consume(self, corelet_id: int, entry: _Entry) -> None:
+        c = entry.consumed[corelet_id] = entry.consumed[corelet_id] + 1
+        if c > self.slab_words:
+            raise AssertionError(
+                f"corelet {corelet_id} consumed {c} words of its "
+                f"{self.slab_words}-word slab in row {entry.row}: kernels "
+                "must read each input word exactly once"
+            )
+        if c == self.slab_words:
+            entry.df_count += 1
+            # head saturation may unblock waiting leading corelets even if
+            # no further demand fetch retries the (still-set) PFT trigger
+            if (entry.df_count >= self.n_corelets and self._alloc_waiters
+                    and self.entries and entry is self.entries[0]):
+                self._advance_allocation(max(w[1] for w in self._alloc_waiters))
+
+    def _try_trigger(self, entry: _Entry) -> None:
+        """First-touch (or retried) prefetch trigger from ``entry``:
+        allocate until the tail runs ``prefetch_ahead`` rows past it."""
+        done = self._advance_allocation(entry.row + self.prefetch_ahead)
+        if done:
+            entry.pft = False  # else: deferred, a later demand retries
+
+    def _advance_allocation(self, target_row: int) -> bool:
+        """Allocate rows up to ``target_row`` (clamped); returns False if
+        flow control deferred before reaching the target."""
+        target = min(target_row, self.last_row)
+        while self._next_row <= target:
+            if len(self.entries) >= self.n_entries:
+                head = self.entries[0]
+                if head.df_count < self.n_corelets:
+                    if self.flow_control:
+                        # defer: PFT stays set so a later demand fetch retries
+                        self.stats.inc("flow_defers")
+                        if self.on_full_defer is not None:
+                            self.on_full_defer()
+                        return False
+                    self._evict_head(premature=True)
+                else:
+                    self._evict_head(premature=False)
+            self._allocate_next()
+        return True
+
+    def _evict_head(self, premature: bool) -> None:
+        head = self.entries.popleft()
+        del self._by_row[head.row]
+        if premature:
+            self.stats.inc("premature_evictions")
+            # threads blocked on the evicted entry's fill fall back to DRAM
+            for corelet_id, cb in head.fill_waiters:
+                slab_base = head.row * self.row_words + corelet_id * self.slab_words
+                self._demand_fetch(slab_base, cb)
+            head.fill_waiters.clear()
+
+    def _allocate_next(self) -> None:
+        row = self._next_row
+        self._next_row += 1
+        entry = _Entry(row, self.n_corelets)
+        # words of this row already consumed through fallback demand
+        # fetches count toward the DF accounting
+        pre = self._preconsumed.pop(row, None)
+        if pre is not None:
+            entry.consumed = pre
+            entry.df_count = sum(1 for c in pre if c >= self.slab_words)
+        self.entries.append(entry)
+        self._by_row[row] = entry
+        self.stats.inc("rows_prefetched")
+        base = row * self.row_words
+        self.mc.access(base, self.row_words, callback=self._fill, tag=entry)
+        # leading corelets waiting for this allocation become fill waiters
+        if self._alloc_waiters:
+            still = []
+            for corelet_id, wrow, cb in self._alloc_waiters:
+                if wrow == row:
+                    entry.fill_waiters.append((corelet_id, cb))
+                else:
+                    still.append((corelet_id, wrow, cb))
+            self._alloc_waiters = still
+
+    def _fill(self, req: DramRequest) -> None:
+        entry = req.tag
+        entry.fill_done_ps = self.engine.now
+        waiters, entry.fill_waiters = entry.fill_waiters, []
+        for corelet_id, cb in waiters:
+            self._consume(corelet_id, entry)
+            cb(self.engine.now, PBAccessResult.FILL_WAIT)
+
+    # ------------------------------------------------------------------
+    # evicted-row fallback path (block-granular, MSHR-merged)
+    # ------------------------------------------------------------------
+    def _demand_fetch(self, addr: int, on_ready: Callable[[int, str], None]) -> None:
+        block = addr // self.demand_block_words
+        waiters = self._demand_inflight.get(block)
+        if waiters is not None:
+            waiters.append(on_ready)
+            return
+        self._demand_inflight[block] = [on_ready]
+        base = block * self.demand_block_words
+        self.stats.inc("demand_fetches")
+        self.mc.access(base, self.demand_block_words, callback=self._demand_fill, tag=block)
+
+    def _demand_fill(self, req: DramRequest) -> None:
+        waiters = self._demand_inflight.pop(req.tag, [])
+        now = self.engine.now
+        for cb in waiters:
+            cb(now, PBAccessResult.EVICTED_MISS)
+
+    # ------------------------------------------------------------------
+    # introspection (used by tests and the rate controller)
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    @property
+    def head_row(self) -> Optional[int]:
+        return self.entries[0].row if self.entries else None
+
+    @property
+    def tail_row(self) -> Optional[int]:
+        return self.entries[-1].row if self.entries else None

@@ -1,0 +1,6 @@
+"""Simulation driver: build, run, validate, and summarize one experiment."""
+
+from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
+from repro.sim.cache import ResultCache
+
+__all__ = ["ARCHITECTURES", "RunResult", "run", "run_many", "ResultCache"]

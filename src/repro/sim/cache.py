@@ -1,0 +1,72 @@
+"""Disk cache for experiment results.
+
+Full-figure sweeps re-run dozens of simulations; the cache keys each run
+by (architecture, workload, record count, seed, config fingerprint) so the
+experiment harness and the benchmark suite never repeat identical runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.config import SystemConfig
+from repro.energy.model import EnergyBreakdown
+from repro.sim.driver import RunResult
+
+
+def config_fingerprint(cfg: SystemConfig) -> str:
+    """Stable short hash of every config field."""
+    blob = json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """JSON-file-per-result cache under ``root``."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, arch: str, workload: str, n_records: Optional[int],
+              seed: int, cfg: SystemConfig) -> Path:
+        key = f"{arch}-{workload}-{n_records}-{seed}-{config_fingerprint(cfg)}"
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, arch: str, workload: str, n_records: Optional[int],
+            seed: int, cfg: SystemConfig) -> Optional[RunResult]:
+        path = self._path(arch, workload, n_records, seed, cfg)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        payload["energy"] = EnergyBreakdown(**payload["energy"])
+        payload.pop("reduced", None)
+        return RunResult(reduced={}, **payload)
+
+    def put(self, result: RunResult, n_records: Optional[int],
+            seed: int, cfg: SystemConfig) -> Path:
+        path = self._path(result.arch, result.workload, n_records, seed, cfg)
+        payload = dataclasses.asdict(result)
+        payload.pop("reduced", None)  # numpy arrays are not JSON-portable
+        payload["energy"] = {
+            "core_dynamic_j": result.energy.core_dynamic_j,
+            "idle_j": result.energy.idle_j,
+            "dram_j": result.energy.dram_j,
+            "leakage_j": result.energy.leakage_j,
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    def clear(self) -> int:
+        n = 0
+        for p in self.root.glob("*.json"):
+            p.unlink()
+            n += 1
+        return n

@@ -1,0 +1,281 @@
+"""One-call simulation runs.
+
+``run("millipede", "count")`` builds the workload, instantiates the
+architecture on a fresh event engine, executes to completion, validates
+the simulated reduction against the golden NumPy result, and returns a
+:class:`RunResult` with timing, counters, and the energy breakdown.
+
+Architecture keys
+-----------------
+===================  =====================================================
+key                  paper configuration
+===================  =====================================================
+``gpgpu``            GPGPU SM with cache-block prefetch (Fig. 3 baseline)
+``vws``              Variable Warp Sizing (4-wide warps)
+``vws-row``          VWS + row-orientedness + flow control
+``ssmc``             plain sea-of-simple-MIMD-cores with prefetch
+``millipede-nofc``   Millipede without flow control
+``millipede``        Millipede (row prefetch + flow control)
+``millipede-rm``     Millipede + coarse-grain rate matching
+``millipede-bar``    no flow control, software barriers per record (§VI-A)
+``multicore``        conventional 8-core OoO node (Fig. 5)
+===================  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Optional, Union
+
+from repro.arch.gpgpu import GpgpuSM
+from repro.arch.multicore import MulticoreProcessor
+from repro.arch.ssmc import SsmcProcessor
+from repro.arch.vws import VwsRowSM, VwsSM
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.millipede import MillipedeProcessor
+from repro.dram.dram import GlobalMemory
+from repro.energy.model import EnergyBreakdown, compute_energy
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+from repro.workloads.base import BuiltWorkload, Workload
+from repro.workloads.registry import get_workload
+
+
+def _millipede_cfg(cfg: SystemConfig, **kw) -> SystemConfig:
+    return cfg.with_millipede(**kw)
+
+
+#: SIMT architectures use the word-interleaved thread->record mapping for
+#: coalescing; MIMD architectures use the chunked (slab) mapping so each
+#: core's per-row footprint is private and contiguous (section IV-C)
+TRAVERSAL: dict[str, str] = {
+    "gpgpu": "interleaved",
+    "vws": "interleaved",
+    "vws-row": "interleaved",
+}
+
+#: key -> (processor class, config transform, needs record barriers)
+ARCHITECTURES: dict[str, tuple[type, Callable[[SystemConfig], SystemConfig], bool]] = {
+    "gpgpu": (GpgpuSM, lambda c: c, False),
+    "vws": (VwsSM, lambda c: c, False),
+    "vws-row": (VwsRowSM, lambda c: _millipede_cfg(c, flow_control=True), False),
+    "ssmc": (SsmcProcessor, lambda c: c, False),
+    "millipede": (
+        MillipedeProcessor,
+        lambda c: _millipede_cfg(c, flow_control=True, rate_match=False),
+        False,
+    ),
+    "millipede-nofc": (
+        MillipedeProcessor,
+        lambda c: _millipede_cfg(c, flow_control=False, rate_match=False),
+        False,
+    ),
+    "millipede-rm": (
+        MillipedeProcessor,
+        lambda c: _millipede_cfg(c, flow_control=True, rate_match=True),
+        False,
+    ),
+    "millipede-bar": (
+        MillipedeProcessor,
+        lambda c: _millipede_cfg(c, flow_control=False, record_barriers=True),
+        True,
+    ),
+    "multicore": (MulticoreProcessor, lambda c: c, False),
+}
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation produced."""
+
+    arch: str
+    workload: str
+    n_records: int
+    input_words: int
+    finish_ps: int
+    energy: EnergyBreakdown
+    collected: dict[str, float]
+    stats: dict[str, float]
+    validated: bool
+    host_seconds: float
+    reduced: dict = dc_field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def runtime_s(self) -> float:
+        return self.finish_ps / 1e12
+
+    @property
+    def throughput_words_per_s(self) -> float:
+        return self.input_words / self.runtime_s if self.finish_ps else 0.0
+
+    @property
+    def insts_per_word(self) -> float:
+        return self.collected.get("instructions", 0.0) / self.input_words
+
+    @property
+    def branches_per_inst(self) -> float:
+        i = self.collected.get("instructions", 0.0)
+        return self.collected.get("branches", 0.0) / i if i else 0.0
+
+    @property
+    def row_miss_rate(self) -> float:
+        acc = self.stats.get("dram.row_accesses", 0.0) or self.stats.get(
+            "offchip.row_accesses", 0.0
+        )
+        miss = self.stats.get("dram.row_misses", 0.0) or self.stats.get(
+            "offchip.row_misses", 0.0
+        )
+        return miss / acc if acc else 0.0
+
+    @property
+    def energy_per_word_j(self) -> float:
+        return self.energy.total_j / self.input_words
+
+    @property
+    def energy_delay(self) -> float:
+        return self.energy.total_j * self.runtime_s
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """Throughput ratio (robust to differing record counts)."""
+        return self.throughput_words_per_s / other.throughput_words_per_s
+
+    def summary(self) -> str:
+        return (
+            f"{self.arch:>15s}/{self.workload:<9s} "
+            f"{self.runtime_s * 1e6:9.1f} us  "
+            f"{self.throughput_words_per_s / 1e9:6.3f} Gword/s  "
+            f"{self.energy.total_j * 1e6:8.2f} uJ  "
+            f"rowmiss {self.row_miss_rate:5.3f}"
+        )
+
+
+def run(
+    arch: str,
+    workload: Union[str, Workload],
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    seed: int = 0,
+    validate: bool = True,
+    built: Optional[BuiltWorkload] = None,
+) -> RunResult:
+    """Simulate ``workload`` on ``arch`` and validate the result.
+
+    Pass ``built`` to reuse a prepared workload (e.g. across the
+    architectures of one figure) - it must have been built with the
+    matching thread count.
+    """
+    if arch not in ARCHITECTURES:
+        raise KeyError(f"unknown architecture {arch!r}; available: {', '.join(ARCHITECTURES)}")
+    proc_cls, transform, needs_barriers = ARCHITECTURES[arch]
+    cfg = transform(config)
+
+    wl = get_workload(workload) if isinstance(workload, str) else workload
+    if arch == "multicore":
+        n_threads = cfg.multicore.n_cores * cfg.multicore.n_threads
+    else:
+        n_threads = cfg.core.n_cores * cfg.core.n_threads
+
+    traversal = TRAVERSAL.get(arch, "chunked")
+    if built is None:
+        built = wl.build(
+            n_threads,
+            n_records=n_records,
+            block_records=cfg.dram.row_words,
+            seed=seed,
+            record_barrier=needs_barriers,
+            traversal=traversal,
+        )
+    elif built.n_threads != n_threads or built.traversal != traversal:
+        raise ValueError(
+            f"prebuilt workload has {built.n_threads} threads / "
+            f"{built.traversal} traversal; {arch} needs {n_threads} / {traversal}"
+        )
+
+    engine = Engine()
+    stats = Stats()
+    gm = GlobalMemory.from_array(built.memory_image)
+    # layout metadata enables oracle stream prefetch (baselines) and the
+    # safe-wait record-span hint (prefetch buffer)
+    extra_kwargs = {"layout": built.layout}
+    proc = proc_cls(
+        engine,
+        cfg,
+        built.program,
+        gm,
+        stats,
+        input_base_word=built.input_base_word,
+        input_end_word=built.input_end_word,
+        **extra_kwargs,
+    )
+    if built.initial_state is not None:
+        proc.load_initial_state(built.initial_state)
+    proc.set_thread_args(built.thread_args)
+
+    t0 = time.perf_counter()
+    proc.start()
+    engine.run()
+    host_seconds = time.perf_counter() - t0
+    if not proc.done:
+        raise RuntimeError(
+            f"{arch}/{wl.name}: event queue drained but the processor never "
+            "finished (likely a blocked-thread deadlock)"
+        )
+
+    reduced = {}
+    if validate:
+        reduced = built.validate(proc.thread_states())
+
+    collected = proc.collect()
+    energy = compute_energy(arch, cfg, stats, collected)
+    return RunResult(
+        arch=arch,
+        workload=wl.name,
+        n_records=built.n_records,
+        input_words=built.input_words,
+        finish_ps=proc.finish_ps,
+        energy=energy,
+        collected=collected,
+        stats=stats.as_dict(),
+        validated=validate,
+        host_seconds=host_seconds,
+        reduced=reduced,
+    )
+
+
+def run_many(
+    arches: list[str],
+    workload: Union[str, Workload],
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    seed: int = 0,
+    validate: bool = True,
+) -> dict[str, RunResult]:
+    """Run one workload across several architectures, reusing the built
+    dataset/kernel wherever thread counts agree."""
+    wl = get_workload(workload) if isinstance(workload, str) else workload
+    results: dict[str, RunResult] = {}
+    shared: dict[tuple[int, bool], BuiltWorkload] = {}
+    for arch in arches:
+        _, transform, needs_barriers = ARCHITECTURES[arch]
+        cfg = transform(config)
+        if arch == "multicore":
+            n_threads = cfg.multicore.n_cores * cfg.multicore.n_threads
+        else:
+            n_threads = cfg.core.n_cores * cfg.core.n_threads
+        traversal = TRAVERSAL.get(arch, "chunked")
+        key = (n_threads, needs_barriers, traversal)
+        if key not in shared:
+            shared[key] = wl.build(
+                n_threads,
+                n_records=n_records,
+                block_records=cfg.dram.row_words,
+                seed=seed,
+                record_barrier=needs_barriers,
+                traversal=traversal,
+            )
+        results[arch] = run(
+            arch, wl, config=config, seed=seed, validate=validate, built=shared[key]
+        )
+    return results

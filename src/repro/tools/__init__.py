@@ -1,0 +1,9 @@
+"""Developer tools CLI: kernel disassembly, run inspection, layout dumps.
+
+Usage::
+
+    python -m repro.tools disasm nbayes
+    python -m repro.tools inspect millipede count --records 4096
+    python -m repro.tools layout gda
+    python -m repro.tools arches
+"""

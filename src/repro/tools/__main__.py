@@ -1,0 +1,5 @@
+"""``python -m repro.tools`` entry point."""
+
+from repro.tools.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Developer tools: disassembly, run inspection, layout dumps."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import RooflineModel, analyze_history, attribute_bottleneck
+from repro.config import DEFAULT_CONFIG
+from repro.isa.instructions import BRANCH_OPS, GLOBAL_MEM_OPS, LOCAL_MEM_OPS
+from repro.sim.driver import ARCHITECTURES, run
+from repro.workloads.registry import get_workload, workload_names
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    wl = get_workload(args.workload)
+    built = wl.build(n_threads=args.threads, n_records=512,
+                     traversal=args.traversal)
+    prog = built.program
+    print(f"# {wl.name}: {len(prog)} instructions "
+          f"({prog.code_bytes} B of {DEFAULT_CONFIG.core.icache_bytes} B I-cache)")
+    print(f"# static: {prog.static_branches} branches, "
+          f"{prog.static_global_accesses} global accesses, "
+          f"{prog.static_local_accesses} local accesses")
+    print(prog.listing())
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    result = run(args.arch, args.workload, n_records=args.records)
+    print(result.summary())
+    print()
+    print(attribute_bottleneck(result).render())
+    print()
+    model = RooflineModel(DEFAULT_CONFIG, arch=args.arch)
+    print(model.render([model.place(result)]))
+    if "rate_match_history" in result.collected:
+        print()
+        print(analyze_history(result.collected["rate_match_history"],
+                              end_ps=result.finish_ps).render())
+    if args.stats:
+        print("\nraw statistics:")
+        for k, v in sorted(result.stats.items()):
+            print(f"  {k:40s} {v:.0f}")
+    return 0
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    wl = get_workload(args.workload)
+    built = wl.build(n_threads=args.threads, n_records=512)
+    lay = built.layout
+    print(f"# {wl.name}: {lay.n_records} records x {lay.n_fields} fields, "
+          f"blocks of {lay.block_records}, {lay.total_words} words total")
+    print(f"# per-thread live state: {wl.state_words} words")
+    print(f"{'record':>7s} {'field':>6s} {'word addr':>10s} {'row':>5s}")
+    for r in (0, 1, args.threads, lay.block_records):
+        if r >= lay.n_records:
+            continue
+        for f in range(min(lay.n_fields, 4)):
+            a = lay.addr(r, f)
+            print(f"{r:7d} {f:6d} {a:10d} {a // 512:5d}")
+    return 0
+
+
+def cmd_arches(args: argparse.Namespace) -> int:
+    print(f"{'key':>16s}  description")
+    descriptions = {
+        "gpgpu": "SIMT SM, 32-wide warps, L1D + oracle prefetch",
+        "vws": "Variable Warp Sizing (4-wide warps)",
+        "vws-row": "VWS + row-oriented flow-controlled prefetch buffer",
+        "ssmc": "plain sea-of-simple-MIMD-cores, per-core L1D",
+        "millipede": "row-oriented MIMD + cross-corelet flow control",
+        "millipede-nofc": "Millipede without flow control",
+        "millipede-rm": "Millipede + coarse-grain rate matching",
+        "millipede-bar": "software record-granularity barriers (ablation)",
+        "multicore": "conventional 8-core OoO node, off-chip DRAM",
+    }
+    for key in ARCHITECTURES:
+        print(f"{key:>16s}  {descriptions.get(key, '')}")
+    print(f"\nworkloads: {', '.join(workload_names())} (+ varwork)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="python -m repro.tools")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    d = sub.add_parser("disasm", help="disassemble a workload kernel")
+    d.add_argument("workload")
+    d.add_argument("--threads", type=int, default=128)
+    d.add_argument("--traversal", choices=["chunked", "interleaved"], default="chunked")
+    d.set_defaults(fn=cmd_disasm)
+
+    i = sub.add_parser("inspect", help="run and analyze one simulation")
+    i.add_argument("arch", choices=list(ARCHITECTURES))
+    i.add_argument("workload")
+    i.add_argument("--records", type=int, default=4096)
+    i.add_argument("--stats", action="store_true", help="dump raw counters")
+    i.set_defaults(fn=cmd_inspect)
+
+    l = sub.add_parser("layout", help="dump a workload's address layout")
+    l.add_argument("workload")
+    l.add_argument("--threads", type=int, default=128)
+    l.set_defaults(fn=cmd_layout)
+
+    a = sub.add_parser("arches", help="list architectures and workloads")
+    a.set_defaults(fn=cmd_arches)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

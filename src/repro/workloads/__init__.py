@@ -1,0 +1,29 @@
+"""The eight BMLA benchmarks of the paper's Table II / Table IV.
+
+Each workload bundles
+
+* a synthetic data generator (the paper's movie-rating / N-dimensional
+  point datasets),
+* a Map + partial-Reduce kernel written in the mini ISA (the same kernel
+  runs on every architecture),
+* a golden NumPy implementation used to validate the *simulated* reduction
+  end-to-end (the simulator moves real data), and
+* the per-node reduce that combines per-thread partial states.
+
+The suite spans the paper's light-to-heavy range (count ... gda); measured
+instructions-per-input-word and branch rates are reported against the
+paper's Table IV by the experiment harness.
+"""
+
+from repro.workloads.base import BuiltWorkload, Workload, record_loop, compare_results
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__all__ = [
+    "BuiltWorkload",
+    "Workload",
+    "record_loop",
+    "compare_results",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,103 @@
+"""Shared codegen + golden model for the nearest-centroid workloads
+(classify, kmeans) - Table II's "supervised classification via Euclidean
+distance" and "unsupervised clustering via Kmeans (1 iteration)".
+
+State layout (per thread)::
+
+    [0 .. k*D)            centroid constants (preloaded)
+    [k*D .. k*D+k)        per-centroid assignment counts
+    [k*D+k .. k*D+k+k*D)  per-centroid coordinate sums (new centroids)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def centroid_state_words(k: int, d: int) -> int:
+    return 2 * k * d + k
+
+
+def make_centroids(k: int, d: int, seed: int = 12345) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(k, d))
+
+
+def nearest_centroid_body(k: int, d: int, block_records: int, label_prefix: str) -> str:
+    """Per-record assembly: load D dims, argmin over k centroids, update
+    count and coordinate sums of the winner.
+
+    Dims live in r13..r(12+d); r21=best dist, r22=best id, r23=running
+    dist, r24-r26 scratch.  Requires d <= 16.
+    """
+    if d > 16:
+        raise ValueError(f"d={d} exceeds the register budget (max 16 dims)")
+    B = block_records
+    kd = k * d
+    lines = []
+    for dim in range(d):
+        lines.append(f"    ldg  r{13 + dim}, r10, {dim * B}")
+    lines.append("    li   r21, 1e30")
+    lines.append("    li   r22, 0")
+    for c in range(k):
+        lines.append(f"    li   r23, 0")
+        for dim in range(d):
+            lines.append(f"    ldl  r24, r0, {c * d + dim}")
+            lines.append(f"    sub  r24, r{13 + dim}, r24")
+            lines.append(f"    mul  r24, r24, r24")
+            lines.append(f"    add  r23, r23, r24")
+        lines.append(f"    slt  r24, r23, r21")
+        lines.append(f"    beqz r24, {label_prefix}_skip{c}")
+        lines.append(f"    mov  r21, r23")
+        lines.append(f"    li   r22, {c}")
+        lines.append(f"{label_prefix}_skip{c}:")
+    # counts[best]++
+    lines.append(f"    addi r25, r22, {kd}")
+    lines.append(f"    ldl  r26, r25, 0")
+    lines.append(f"    addi r26, r26, 1")
+    lines.append(f"    stl  r26, r25, 0")
+    # sums[best*d + dim] += x_dim
+    lines.append(f"    muli r25, r22, {d}")
+    for dim in range(d):
+        lines.append(f"    ldl  r26, r25, {kd + k + dim}")
+        lines.append(f"    add  r26, r26, r{13 + dim}")
+        lines.append(f"    stl  r26, r25, {kd + k + dim}")
+    return "\n".join(lines)
+
+
+def assign_sequential(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Golden argmin with the *same float64 operation order* as the kernel
+    (sequential accumulation over dims, strict-< winner update), so integer
+    assignment counts compare exactly."""
+    n = len(points)
+    k, d = centroids.shape
+    best = np.full(n, 0, dtype=np.int64)
+    best_dist = np.full(n, 1e30)
+    for c in range(k):
+        dist = np.zeros(n)
+        for dim in range(d):
+            t = points[:, dim] - centroids[c, dim]
+            dist = dist + t * t
+        better = dist < best_dist
+        best[better] = c
+        best_dist = np.where(better, dist, best_dist)
+    return best
+
+
+def golden_centroid_result(points: np.ndarray, centroids: np.ndarray) -> dict:
+    k, d = centroids.shape
+    assign = assign_sequential(points, centroids)
+    counts = np.bincount(assign, minlength=k).astype(np.int64)
+    sums = np.zeros((k, d))
+    np.add.at(sums, assign, points)
+    return {"counts": counts, "sums": sums}
+
+
+def reduce_centroid_states(thread_states: list[np.ndarray], k: int, d: int) -> dict:
+    kd = k * d
+    counts = np.zeros(k, dtype=np.int64)
+    sums = np.zeros((k, d))
+    for st in thread_states:
+        counts += st[kd : kd + k].astype(np.int64)
+        sums += st[kd + k : kd + k + kd].reshape(k, d)
+    return {"counts": counts, "sums": sums}

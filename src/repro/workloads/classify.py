@@ -1,0 +1,54 @@
+"""``classify``: supervised classification via Euclidean distance
+(Table II row 5): assign each N-dimensional point to the nearest of k
+known centroids (O(k) per record) and accumulate per-class counts and
+coordinate sums for the new centroids (O(1) amortized per word).
+
+The argmin's strict-< winner update is a data-dependent branch inside the
+k-loop - modest divergence, as the paper's Table IV shows (0.05
+branches/inst).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads._centroid import (
+    centroid_state_words,
+    golden_centroid_result,
+    make_centroids,
+    nearest_centroid_body,
+    reduce_centroid_states,
+)
+from repro.workloads.base import BuiltWorkload, Workload
+
+
+class ClassifyWorkload(Workload):
+    name = "classify"
+    D = 8
+    K_CENTROIDS = 4
+    CENTROID_SEED = 20180521
+    n_fields = D
+    state_words = centroid_state_words(K_CENTROIDS, D)
+    default_records = 16 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        return [rng.uniform(0.0, 1.0, size=n_records) for _ in range(self.D)]
+
+    def initial_state(self):
+        st = np.zeros(self.state_words)
+        st[: self.K_CENTROIDS * self.D] = make_centroids(
+            self.K_CENTROIDS, self.D, self.CENTROID_SEED
+        ).reshape(-1)
+        return st
+
+    def kernel_body(self, block_records: int) -> str:
+        return nearest_centroid_body(self.K_CENTROIDS, self.D, block_records, "cls")
+
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        points = np.column_stack(fields)
+        cents = make_centroids(self.K_CENTROIDS, self.D, self.CENTROID_SEED)
+        return golden_centroid_result(points, cents)
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        return reduce_centroid_states(thread_states, self.K_CENTROIDS, self.D)

@@ -1,0 +1,60 @@
+"""``count``: movie-rating histogram (Table II row 1).
+
+The lightest benchmark: one word per record.  A 70/30 validity check
+provides the data-dependent branch the paper attributes to BMLAs (invalid
+ratings, encoded as -1, are tallied separately); valid ratings index the
+bin counters *indirectly* - the irregular live-state access GPGPUs must
+absorb in shared memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import BuiltWorkload, Workload
+
+
+class CountWorkload(Workload):
+    name = "count"
+    K = 16  #: rating bins
+    VALID_P = 0.7
+    n_fields = 1
+    state_words = K + 1  # bins + invalid counter
+    default_records = 128 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        ratings = rng.integers(0, self.K, size=n_records).astype(np.float64)
+        invalid = rng.random(n_records) >= self.VALID_P
+        ratings[invalid] = -1.0
+        return [ratings]
+
+    def kernel_body(self, block_records: int) -> str:
+        K = self.K
+        return f"""\
+    ldg  r13, r10, 0          # rating
+    blt  r13, r0, count_inval # 70/30 data-dependent branch
+    ldl  r14, r13, 0          # counter[rating]++ (indirect)
+    addi r14, r14, 1
+    stl  r14, r13, 0
+    j    count_next
+count_inval:
+    ldl  r14, r0, {K}
+    addi r14, r14, 1
+    stl  r14, r0, {K}
+count_next:"""
+
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        ratings = fields[0]
+        valid = ratings >= 0
+        return {
+            "counts": np.bincount(ratings[valid].astype(np.int64), minlength=self.K),
+            "invalid": np.int64(np.count_nonzero(~valid)),
+        }
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        total = np.sum(thread_states, axis=0)
+        return {
+            "counts": total[: self.K].astype(np.int64),
+            "invalid": np.int64(total[self.K]),
+        }

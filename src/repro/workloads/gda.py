@@ -1,0 +1,110 @@
+"""``gda``: Gaussian Discriminant Analysis sufficient statistics
+(Table II row 8) - the heaviest benchmark.
+
+Each record is a class label plus a D-dimensional continuous point; the
+Map accumulates *per-class* mean vectors and upper-triangular second
+moments (O(D^2) per record), selected through a data-dependent class
+branch with the paper's ~70/30 split.  The host finalizes per-class
+means/covariances after the global reduce.
+
+State layout (per thread)::
+
+    [0 .. D)                      staged coordinates
+    base(c) = D + c*(D + T)       per-class region, c in {0, 1}
+      [base .. base+D)            class-c sum vector
+      [base+D .. base+D+T)        class-c upper-triangular x_i*x_j sums
+    [D + 2*(D+T) + c]             classCount[c]
+
+With D=14 this is 254 words - deliberately sized to the 256-word per-
+thread budget every architecture shares (4 KB local memory / 4 contexts;
+128 KB shared memory / 128 threads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import BuiltWorkload, Workload
+
+
+class GdaWorkload(Workload):
+    name = "gda"
+    D = 14
+    TRI = D * (D + 1) // 2  # 105
+    CLASS1_P = 0.7
+    n_fields = D + 1  # class label + dims
+    state_words = D + 2 * (D + TRI) + 2  # 254
+    default_records = 4 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        labels = (rng.random(n_records) < self.CLASS1_P).astype(np.float64)
+        shift = labels[:, None] * 0.5  # class-1 points are shifted
+        pts = rng.normal(0.0, 1.0, size=(n_records, self.D)) + shift
+        return [labels] + [pts[:, d].copy() for d in range(self.D)]
+
+    def kernel_body(self, block_records: int) -> str:
+        B = block_records
+        D, TRI = self.D, self.TRI
+        region = D + TRI  # words per class region
+        cc_base = D + 2 * region
+        lines = [
+            f"    ldg  r13, r10, 0              # class label",
+            f"    li   r14, 0                   # region base offset",
+            f"    beqz r13, gda_c0              # 70/30 class branch",
+            f"    li   r14, {region}",
+            f"gda_c0:",
+            f"    addi r14, r14, {D}            # r14 = class region base",
+            # classCount[class]++
+            f"    trunc r15, r13",
+            f"    addi r15, r15, {cc_base}",
+            f"    ldl  r16, r15, 0",
+            f"    addi r16, r16, 1",
+            f"    stl  r16, r15, 0",
+        ]
+        # stage coordinates
+        for d in range(D):
+            lines.append(f"    ldg  r15, r10, {(d + 1) * B}")
+            lines.append(f"    stl  r15, r0, {d}")
+        # class mean sums
+        for d in range(D):
+            lines.append(f"    ldl  r15, r0, {d}")
+            lines.append(f"    ldl  r16, r14, {d}")
+            lines.append(f"    add  r16, r16, r15")
+            lines.append(f"    stl  r16, r14, {d}")
+        # class second moments (upper triangular)
+        idx = 0
+        for i in range(D):
+            for j in range(i, D):
+                lines.append(f"    ldl  r15, r0, {i}")
+                lines.append(f"    ldl  r16, r0, {j}")
+                lines.append(f"    mul  r15, r15, r16")
+                lines.append(f"    ldl  r16, r14, {D + idx}")
+                lines.append(f"    add  r16, r16, r15")
+                lines.append(f"    stl  r16, r14, {D + idx}")
+                idx += 1
+        return "\n".join(lines)
+
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        labels = fields[0].astype(np.int64)
+        pts = np.column_stack(fields[1:])
+        iu = np.triu_indices(self.D)
+        out = {"class_count": np.bincount(labels, minlength=2)}
+        for c in (0, 1):
+            sub = pts[labels == c]
+            out[f"sums{c}"] = sub.sum(axis=0)
+            out[f"tri{c}"] = (sub.T @ sub)[iu]
+        return out
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        total = np.sum(thread_states, axis=0)
+        D, TRI = self.D, self.TRI
+        region = D + TRI
+        out = {}
+        for c in (0, 1):
+            base = D + c * region
+            out[f"sums{c}"] = total[base : base + D]
+            out[f"tri{c}"] = total[base + D : base + D + TRI]
+        cc = D + 2 * region
+        out["class_count"] = total[cc : cc + 2].astype(np.int64)
+        return out

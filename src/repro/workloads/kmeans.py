@@ -1,0 +1,62 @@
+"""``kmeans``: one k-means iteration (Table II row 6).
+
+Identical structure to ``classify`` but with more centroids (k=8): the
+assignment step is O(k) per record and dominates, making kmeans the
+heaviest of the "medium" benchmarks (paper: 44 insts/word vs classify's
+40).  Host-side finalization divides the reduced coordinate sums by the
+counts to produce the next iteration's centroids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads._centroid import (
+    centroid_state_words,
+    golden_centroid_result,
+    make_centroids,
+    nearest_centroid_body,
+    reduce_centroid_states,
+)
+from repro.workloads.base import BuiltWorkload, Workload
+
+
+class KmeansWorkload(Workload):
+    name = "kmeans"
+    D = 8
+    K_CENTROIDS = 8
+    CENTROID_SEED = 20180613
+    n_fields = D
+    state_words = centroid_state_words(K_CENTROIDS, D)
+    default_records = 8 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        # mixture-of-blobs data so the clustering is meaningful
+        centers = rng.uniform(0.2, 0.8, size=(self.K_CENTROIDS, self.D))
+        which = rng.integers(0, self.K_CENTROIDS, size=n_records)
+        pts = centers[which] + rng.normal(0.0, 0.08, size=(n_records, self.D))
+        return [pts[:, d].copy() for d in range(self.D)]
+
+    def initial_state(self):
+        st = np.zeros(self.state_words)
+        st[: self.K_CENTROIDS * self.D] = make_centroids(
+            self.K_CENTROIDS, self.D, self.CENTROID_SEED
+        ).reshape(-1)
+        return st
+
+    def kernel_body(self, block_records: int) -> str:
+        return nearest_centroid_body(self.K_CENTROIDS, self.D, block_records, "km")
+
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        points = np.column_stack(fields)
+        cents = make_centroids(self.K_CENTROIDS, self.D, self.CENTROID_SEED)
+        return golden_centroid_result(points, cents)
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        return reduce_centroid_states(thread_states, self.K_CENTROIDS, self.D)
+
+    @staticmethod
+    def finalize(counts: np.ndarray, sums: np.ndarray) -> np.ndarray:
+        """Host-side: new centroids = per-cluster means."""
+        return sums / np.maximum(counts, 1)[:, None]

@@ -1,0 +1,106 @@
+"""``pca``: mean + covariance accumulation for principal components
+(Table II row 7).
+
+The Map phase accumulates the sufficient statistics (sum vector and
+upper-triangular sum-of-outer-products matrix); the host finalizes the
+covariance and eigendecomposition after the global reduce.  O(D^2) work
+per record with almost no data-dependent branches - the paper's
+second-heaviest, least-branchy benchmark.
+
+The kernel stages each record's coordinates into local memory first and
+reads them back per covariance pair - the "compact" intermediate-state
+access pattern of section III-C.
+
+State layout (per thread)::
+
+    [0 .. D)        staged coordinates of the current record
+    [D .. 2D)       running sum vector
+    [2D .. 2D+T)    upper-triangular sums of x_i * x_j (T = D(D+1)/2)
+    [2D + T]        record count
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import BuiltWorkload, Workload
+
+
+def _tri_pairs(d: int) -> list[tuple[int, int]]:
+    return [(i, j) for i in range(d) for j in range(i, d)]
+
+
+class PcaWorkload(Workload):
+    name = "pca"
+    D = 12
+    n_fields = D
+    TRI = D * (D + 1) // 2
+    state_words = 2 * D + TRI + 1
+    default_records = 4 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        # correlated data so PCA has structure: latent factors + noise
+        latent = rng.normal(size=(n_records, 3))
+        mix = rng.normal(size=(3, self.D))
+        pts = latent @ mix + rng.normal(0.0, 0.3, size=(n_records, self.D))
+        return [pts[:, d].copy() for d in range(self.D)]
+
+    def kernel_body(self, block_records: int) -> str:
+        B = block_records
+        D = self.D
+        lines = []
+        # stage coordinates into local memory
+        for d in range(D):
+            lines.append(f"    ldg  r13, r10, {d * B}")
+            lines.append(f"    stl  r13, r0, {d}")
+        # sum vector
+        for d in range(D):
+            lines.append(f"    ldl  r13, r0, {d}")
+            lines.append(f"    ldl  r14, r0, {D + d}")
+            lines.append(f"    add  r14, r14, r13")
+            lines.append(f"    stl  r14, r0, {D + d}")
+        # upper-triangular outer products
+        for idx, (i, j) in enumerate(_tri_pairs(D)):
+            lines.append(f"    ldl  r13, r0, {i}")
+            lines.append(f"    ldl  r14, r0, {j}")
+            lines.append(f"    mul  r13, r13, r14")
+            lines.append(f"    ldl  r14, r0, {2 * D + idx}")
+            lines.append(f"    add  r14, r14, r13")
+            lines.append(f"    stl  r14, r0, {2 * D + idx}")
+        # record count
+        cnt = 2 * D + self.TRI
+        lines.append(f"    ldl  r13, r0, {cnt}")
+        lines.append(f"    addi r13, r13, 1")
+        lines.append(f"    stl  r13, r0, {cnt}")
+        return "\n".join(lines)
+
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        pts = np.column_stack(fields)
+        sums = pts.sum(axis=0)
+        outer = pts.T @ pts
+        iu = np.triu_indices(self.D)
+        return {
+            "sums": sums,
+            "tri": outer[iu],
+            "count": np.int64(len(pts)),
+        }
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        total = np.sum(thread_states, axis=0)
+        D = self.D
+        return {
+            "sums": total[D : 2 * D],
+            "tri": total[2 * D : 2 * D + self.TRI],
+            "count": np.int64(total[2 * D + self.TRI]),
+        }
+
+    @staticmethod
+    def finalize(sums: np.ndarray, tri: np.ndarray, count: int, d: int) -> np.ndarray:
+        """Host-side: covariance matrix from the reduced statistics."""
+        mean = sums / count
+        cov = np.zeros((d, d))
+        iu = np.triu_indices(d)
+        cov[iu] = tri / count
+        cov = cov + cov.T - np.diag(np.diag(cov))
+        return cov - np.outer(mean, mean)

@@ -1,0 +1,45 @@
+"""Benchmark registry (the paper's Table IV rows, in its light-to-heavy
+order)."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+from repro.workloads.count import CountWorkload
+from repro.workloads.sample import SampleWorkload
+from repro.workloads.variance import VarianceWorkload
+from repro.workloads.nbayes import NaiveBayesWorkload
+from repro.workloads.classify import ClassifyWorkload
+from repro.workloads.kmeans import KmeansWorkload
+from repro.workloads.pca import PcaWorkload
+from repro.workloads.gda import GdaWorkload
+from repro.workloads.varwork import VarWorkWorkload
+
+WORKLOADS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        CountWorkload,
+        SampleWorkload,
+        VarianceWorkload,
+        NaiveBayesWorkload,
+        ClassifyWorkload,
+        KmeansWorkload,
+        PcaWorkload,
+        GdaWorkload,
+        VarWorkWorkload,  # stress kernel for the flow-control ablation
+    )
+}
+
+
+def workload_names() -> list[str]:
+    """The paper's eight benchmarks, in its Table IV order (excludes the
+    ablation-only stress kernels)."""
+    return [n for n in WORKLOADS if n != "varwork"]
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOADS)}"
+        ) from None

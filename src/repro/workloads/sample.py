@@ -1,0 +1,101 @@
+"""``sample``: per-bin sample selection (Table II row 2).
+
+Keeps, per rating bin, the total count and the first ``M`` record indices
+seen by each thread - "(count, elements) per bin".  Two nested
+data-dependent branches (validity, then bin-not-yet-full) make this the
+branchiest benchmark after count.
+
+The kept elements are inherently *per-thread* results (each Map task keeps
+the first M of its own record subsequence), so validation compares them
+per thread rather than reduced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import BuiltWorkload, Workload, thread_record_indices
+
+
+class SampleWorkload(Workload):
+    name = "sample"
+    K = 8   #: bins
+    M = 4   #: kept elements per bin per thread
+    VALID_P = 0.7
+    n_fields = 1
+    state_words = K * (M + 1) + 1  # per bin: [count, e0..eM-1]; + invalid
+    default_records = 96 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        bins = rng.integers(0, self.K, size=n_records).astype(np.float64)
+        invalid = rng.random(n_records) >= self.VALID_P
+        bins[invalid] = -1.0
+        return [bins]
+
+    def extra_thread_args(self, tid: int, n_threads: int) -> dict[int, float]:
+        return {20: 0}  # r20 tracks the thread-local record ordinal
+
+    def initial_state(self):
+        st = np.zeros(self.state_words)
+        # element slots start at -1 so "never written" is distinguishable
+        for b in range(self.K):
+            st[b * (self.M + 1) + 1 : (b + 1) * (self.M + 1)] = -1.0
+        return st
+
+    def kernel_body(self, block_records: int) -> str:
+        K, M = self.K, self.M
+        inval_addr = K * (M + 1)
+        return f"""\
+    ldg  r13, r10, 0          # bin
+    blt  r13, r0, samp_inval
+    muli r14, r13, {M + 1}    # per-bin slot base
+    ldl  r15, r14, 0          # count
+    slti r16, r15, {M}
+    beqz r16, samp_full       # nested data-dependent branch
+    add  r17, r14, r15
+    stl  r20, r17, 1          # keep this record's thread-local ordinal
+samp_full:
+    addi r15, r15, 1
+    stl  r15, r14, 0
+    j    samp_next
+samp_inval:
+    ldl  r15, r0, {inval_addr}
+    addi r15, r15, 1
+    stl  r15, r0, {inval_addr}
+samp_next:
+    addi r20, r20, 1          # advance the thread-local ordinal"""
+
+    # ------------------------------------------------------------------
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        bins = fields[0]
+        valid = bins >= 0
+        counts = np.bincount(bins[valid].astype(np.int64), minlength=self.K)
+        elements = np.full((n_threads, self.K, self.M), -1, dtype=np.int64)
+        block = getattr(self, "_block_records", 512)
+        for t in range(n_threads):
+            idx = thread_record_indices(t, n_threads, len(bins), block, traversal)
+            sub = bins[idx]
+            for b in range(self.K):
+                # kept elements are the thread-local ordinals of the first
+                # M records of bin b in this thread's processing order
+                hits = np.flatnonzero(sub == b)[: self.M]
+                elements[t, b, : len(hits)] = hits
+        return {
+            "counts": counts,
+            "invalid": np.int64(np.count_nonzero(~valid)),
+            "elements": elements,
+        }
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        K, M = self.K, self.M
+        counts = np.zeros(K, dtype=np.int64)
+        invalid = 0
+        elements = np.full((len(thread_states), K, M), -1, dtype=np.int64)
+        for t, st in enumerate(thread_states):
+            for b in range(K):
+                base = b * (M + 1)
+                counts[b] += int(st[base])
+                elements[t, b] = st[base + 1 : base + 1 + M].astype(np.int64)
+            invalid += int(st[K * (M + 1)])
+        return {"counts": counts, "invalid": np.int64(invalid), "elements": elements}

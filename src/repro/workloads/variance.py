@@ -1,0 +1,85 @@
+"""``variance``: per-bin streaming statistics (Table II row 3).
+
+Accumulates count, sum, and sum-of-squares per rating bin (the classic
+one-pass variance decomposition Var = E[x^2] - E[x]^2, finalized at the
+host after the global reduce).  Ratings are continuous in [0, K); the bin
+is the integer part.  30% invalid records provide the 70/30 branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import BuiltWorkload, Workload
+
+
+class VarianceWorkload(Workload):
+    name = "variance"
+    K = 8
+    VALID_P = 0.7
+    n_fields = 1
+    state_words = 3 * K + 1  # per bin: [count, sum, sumsq]; + invalid
+    default_records = 96 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        values = rng.uniform(0.0, self.K, size=n_records)
+        invalid = rng.random(n_records) >= self.VALID_P
+        values[invalid] = -1.0
+        return [values]
+
+    def kernel_body(self, block_records: int) -> str:
+        inval_addr = 3 * self.K
+        return f"""\
+    ldg  r13, r10, 0          # value
+    blt  r13, r0, var_inval
+    trunc r14, r13            # bin = int(value)
+    muli r14, r14, 3
+    ldl  r15, r14, 0          # count++
+    addi r15, r15, 1
+    stl  r15, r14, 0
+    ldl  r15, r14, 1          # sum += v
+    add  r15, r15, r13
+    stl  r15, r14, 1
+    mul  r16, r13, r13        # sumsq += v*v
+    ldl  r15, r14, 2
+    add  r15, r15, r16
+    stl  r15, r14, 2
+    j    var_next
+var_inval:
+    ldl  r15, r0, {inval_addr}
+    addi r15, r15, 1
+    stl  r15, r0, {inval_addr}
+var_next:"""
+
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        v = fields[0]
+        valid = v >= 0
+        bins = v[valid].astype(np.int64)
+        vv = v[valid]
+        counts = np.bincount(bins, minlength=self.K)
+        sums = np.bincount(bins, weights=vv, minlength=self.K)
+        sumsqs = np.bincount(bins, weights=vv * vv, minlength=self.K)
+        return {
+            "counts": counts,
+            "sums": sums,
+            "sumsqs": sumsqs,
+            "invalid": np.int64(np.count_nonzero(~valid)),
+        }
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        total = np.sum(thread_states, axis=0)
+        per_bin = total[: 3 * self.K].reshape(self.K, 3)
+        return {
+            "counts": per_bin[:, 0].astype(np.int64),
+            "sums": per_bin[:, 1],
+            "sumsqs": per_bin[:, 2],
+            "invalid": np.int64(total[3 * self.K]),
+        }
+
+    @staticmethod
+    def finalize(counts: np.ndarray, sums: np.ndarray, sumsqs: np.ndarray) -> np.ndarray:
+        """Host-side finalization: per-bin variance from the reduced sums."""
+        n = np.maximum(counts, 1)
+        mean = sums / n
+        return sumsqs / n - mean * mean

@@ -1,0 +1,90 @@
+"""``varwork``: a variable-record-work stress kernel (not one of the
+paper's eight benchmarks).
+
+The paper's flow-control contribution exists because corelets *stray*: the
+"unavoidable variability in the record-processing work" accumulates into a
+random-walk drift that spans many rows over billions of records.  At the
+reproduction's scaled-down input sizes the eight BMLAs' 70/30 branches
+produce only a few cycles of variance per record, so straying barely
+develops.  This kernel makes the variability explicit and heavy-tailed -
+each record carries an iteration count (think: variable-length tokens or
+per-record refinement steps) and the Map loops that many times - so the
+flow-control and premature-eviction mechanisms (sections IV-C, VI-A) can
+be exercised and measured at simulation-friendly scale.  Used by the
+ablation benchmarks, not by the Fig. 3/4 reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import BuiltWorkload, Workload
+
+
+class VarWorkWorkload(Workload):
+    name = "varwork"
+    K = 8            #: histogram bins over the iteration results
+    MAX_ITERS = 24   #: heavy-tail cap
+    n_fields = 2     #: [iteration count, value]
+    state_words = K + 2  # bins + total-iterations accumulator + count
+    default_records = 16 * 1024
+
+    def make_fields(self, n_records: int, rng: np.random.Generator) -> list[np.ndarray]:
+        # heavy-tailed per-record work: mostly light, occasionally long
+        iters = np.minimum(
+            rng.geometric(0.35, size=n_records), self.MAX_ITERS
+        ).astype(np.float64)
+        values = rng.uniform(0.0, 1.0, size=n_records)
+        return [iters, values]
+
+    def kernel_body(self, block_records: int) -> str:
+        B = block_records
+        return f"""\
+    ldg  r13, r10, 0          # iteration count (data-dependent work!)
+    ldg  r14, r10, {B}        # value
+    mov  r15, r14             # x = value
+    mov  r16, r13
+vw_loop:
+    beqz r16, vw_done
+    mul  r15, r15, r14        # x *= value  (per-iteration work)
+    addi r16, r16, -1
+    j    vw_loop
+vw_done:
+    # bin the final magnitude: bin = min(K-1, trunc(x * K))
+    muli r15, r15, {self.K}
+    trunc r15, r15
+    li   r16, {self.K - 1}
+    min  r15, r15, r16
+    ldl  r17, r15, 0
+    addi r17, r17, 1
+    stl  r17, r15, 0
+    ldl  r17, r0, {self.K}    # total iterations
+    add  r17, r17, r13
+    stl  r17, r0, {self.K}
+    ldl  r17, r0, {self.K + 1}
+    addi r17, r17, 1
+    stl  r17, r0, {self.K + 1}"""
+
+    def golden_result(self, fields: list[np.ndarray], n_threads: int,
+                      traversal: str = "chunked") -> dict:
+        iters = fields[0].astype(np.int64)
+        values = fields[1]
+        # replicate the kernel's repeated multiplication exactly (bit-for-
+        # bit float64) so truncation-to-bin never disagrees at boundaries
+        x = values.copy()
+        for step in range(self.MAX_ITERS):
+            x = np.where(iters > step, x * values, x)
+        bins = np.minimum((x * self.K).astype(np.int64), self.K - 1)
+        return {
+            "counts": np.bincount(bins, minlength=self.K),
+            "total_iters": np.int64(iters.sum()),
+            "records": np.int64(len(iters)),
+        }
+
+    def reduce(self, thread_states: list[np.ndarray], built: BuiltWorkload) -> dict:
+        total = np.sum(thread_states, axis=0)
+        return {
+            "counts": total[: self.K].astype(np.int64),
+            "total_iters": np.int64(total[self.K]),
+            "records": np.int64(total[self.K + 1]),
+        }

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def stats() -> Stats:
+    return Stats()
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    return SystemConfig()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A shrunken machine for fast integration tests: 8 corelets x 2
+    threads, 4-entry prefetch buffer.  Block = row = 512 records still
+    divides evenly (512 % 16 == 0)."""
+    cfg = SystemConfig()
+    return cfg.with_core(n_cores=8, n_threads=2).with_millipede(prefetch_entries=4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

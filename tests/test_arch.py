@@ -1,0 +1,133 @@
+"""Cross-architecture integration tests.
+
+The strongest check in the suite: every architecture model must produce
+the *bit-identical reduced result* for every workload (the simulator moves
+real data through real structures), while their timing/energy differ in
+the directions the paper establishes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.sim.driver import ARCHITECTURES, run, run_many
+from repro.workloads.registry import workload_names
+
+SMALL = 2048
+FAST_ARCHES = ["gpgpu", "vws", "vws-row", "ssmc", "millipede",
+               "millipede-nofc", "millipede-rm", "millipede-bar", "multicore"]
+
+
+class TestEveryArchValidates:
+    @pytest.mark.parametrize("arch", FAST_ARCHES)
+    def test_count_validates(self, arch):
+        r = run(arch, "count", n_records=SMALL)
+        assert r.validated
+        assert r.finish_ps > 0
+
+    @pytest.mark.parametrize("workload", workload_names())
+    def test_millipede_validates_all_workloads(self, workload):
+        assert run("millipede", workload, n_records=SMALL).validated
+
+    @pytest.mark.parametrize("workload", ["count", "nbayes", "gda"])
+    def test_gpgpu_validates(self, workload):
+        assert run("gpgpu", workload, n_records=SMALL).validated
+
+    @pytest.mark.parametrize("workload", ["count", "nbayes", "gda"])
+    def test_ssmc_validates(self, workload):
+        assert run("ssmc", workload, n_records=SMALL).validated
+
+    @pytest.mark.parametrize("workload", ["sample", "kmeans"])
+    def test_vws_row_validates(self, workload):
+        assert run("vws-row", workload, n_records=SMALL).validated
+
+    @pytest.mark.parametrize("workload", ["variance", "pca"])
+    def test_multicore_validates(self, workload):
+        assert run("multicore", workload, n_records=SMALL).validated
+
+
+class TestCrossArchEquivalence:
+    def test_identical_reductions_across_architectures(self):
+        """Same dataset, same kernel semantics -> same integer counters,
+        whatever the memory system."""
+        results = run_many(["gpgpu", "ssmc", "millipede"], "nbayes", n_records=SMALL)
+        base = results["millipede"].reduced
+        for arch in ("gpgpu", "ssmc"):
+            got = results[arch].reduced
+            assert np.array_equal(got["cprob"], base["cprob"])
+            assert np.array_equal(got["class_count"], base["class_count"])
+
+    def test_instruction_counts_agree_across_mimd_archs(self):
+        """MIMD models run the identical kernel on the identical data, so
+        dynamic instruction counts must match exactly."""
+        results = run_many(["ssmc", "millipede"], "count", n_records=SMALL)
+        assert (results["ssmc"].collected["instructions"]
+                == results["millipede"].collected["instructions"])
+
+
+class TestArchRegistry:
+    def test_all_keys_construct(self):
+        assert set(FAST_ARCHES) == set(ARCHITECTURES)
+
+    def test_unknown_arch_raises(self):
+        with pytest.raises(KeyError, match="unknown architecture"):
+            run("tpu", "count", n_records=SMALL)
+
+    def test_prebuilt_mismatch_rejected(self):
+        from repro.workloads.registry import get_workload
+
+        built = get_workload("count").build(n_threads=8, n_records=512)
+        with pytest.raises(ValueError, match="prebuilt"):
+            run("millipede", "count", built=built)
+
+
+class TestPaperDirections:
+    """Direction checks at test scale (full-size shape checks live in
+    benchmarks/)."""
+
+    def test_millipede_beats_gpgpu_on_branchy_benchmark(self):
+        results = run_many(["gpgpu", "millipede"], "count", n_records=8192)
+        assert (results["millipede"].throughput_words_per_s
+                > results["gpgpu"].throughput_words_per_s)
+
+    def test_flow_control_beats_none_under_work_variance(self):
+        # tightened buffer so straying spans the queue at test scale
+        cfg = SystemConfig().with_millipede(prefetch_entries=4, prefetch_ahead=3)
+        results = run_many(["millipede", "millipede-nofc"], "varwork",
+                           config=cfg, n_records=8192)
+        assert (results["millipede"].throughput_words_per_s
+                > results["millipede-nofc"].throughput_words_per_s)
+
+    def test_vws_narrow_width_selected_for_bmla(self):
+        from repro.arch.vws import VwsSM
+        from repro.config import VwsConfig
+
+        r = run("gpgpu", "count", n_records=SMALL)
+        div = r.collected["divergent_branches"] / max(
+            r.collected["divergent_branches"] + r.collected["uniform_branches"], 1
+        )
+        assert VwsSM.select_width(div, VwsConfig()) == 4
+
+    def test_millipede_single_row_activation_per_row(self):
+        r = run("millipede", "count", n_records=4096)
+        rows = r.input_words / 512
+        assert r.stats["dram.activations"] == rows
+
+    def test_multicore_uses_offchip_channel(self):
+        r = run("multicore", "count", n_records=SMALL)
+        assert r.stats.get("offchip.requests", 0) > 0
+        assert r.stats.get("dram.requests", 0) == 0
+
+
+class TestConfigSweepSafety:
+    def test_scaled_system_size_keeps_divisibility(self):
+        for n in (16, 32, 64, 128):
+            cfg = SystemConfig().scaled_system_size(n)
+            assert cfg.core.n_cores == n
+            assert 512 % (n * cfg.core.n_threads) == 0 or n * cfg.core.n_threads > 512
+
+    def test_small_config_runs(self, small_config):
+        r = run("millipede", "count", config=small_config, n_records=1024)
+        assert r.validated

@@ -1,0 +1,94 @@
+"""Unit tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.energy.model import EnergyBreakdown, compute_energy
+from repro.engine.stats import Stats
+
+
+def _stats(prefix="dram", words=1000, activations=10) -> Stats:
+    s = Stats()
+    s.inc(f"{prefix}.requests", 5)
+    s.inc(f"{prefix}.words_transferred", words)
+    s.inc(f"{prefix}.activations", activations)
+    return s
+
+
+BASE_COLLECTED = {
+    "instructions": 10_000,
+    "idle_cycles": 2_000,
+    "icache_fetches": 10_000,
+    "finish_ps": 1_000_000,
+}
+
+
+class TestBreakdown:
+    def test_total_is_sum(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert b.total_j == 10.0
+        assert b.core_j == 3.0
+
+    def test_as_dict_roundtrip(self):
+        b = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        d = b.as_dict()
+        assert d["total_j"] == 10.0 and d["dram_j"] == 3.0
+
+
+class TestComputeEnergy:
+    def setup_method(self):
+        self.cfg = SystemConfig()
+
+    def test_millipede_path(self):
+        collected = dict(BASE_COLLECTED, local_accesses=500)
+        e = compute_energy("millipede", self.cfg, _stats(), collected)
+        assert e.total_j > 0
+        assert e.core_dynamic_j > 0 and e.dram_j > 0 and e.leakage_j > 0
+
+    def test_gpgpu_pays_crossbar(self):
+        base = dict(BASE_COLLECTED, shared_mem_accesses=0, l1d_accesses=0)
+        loaded = dict(BASE_COLLECTED, shared_mem_accesses=1000, l1d_accesses=0)
+        e0 = compute_energy("gpgpu", self.cfg, _stats(), base)
+        e1 = compute_energy("gpgpu", self.cfg, _stats(), loaded)
+        expected = 1000 * (self.cfg.energy.shared_mem_pj
+                           + self.cfg.energy.shared_mem_crossbar_pj) / 1e12
+        assert e1.core_dynamic_j - e0.core_dynamic_j == pytest.approx(expected)
+
+    def test_dram_energy_scales_with_bits_and_activations(self):
+        collected = dict(BASE_COLLECTED, local_accesses=0)
+        small = compute_energy("millipede", self.cfg, _stats(words=100), collected)
+        big = compute_energy("millipede", self.cfg, _stats(words=10_000), collected)
+        assert big.dram_j > small.dram_j
+        noact = compute_energy(
+            "millipede", self.cfg, _stats(words=100, activations=0), collected
+        )
+        assert small.dram_j > noact.dram_j
+
+    def test_offchip_uses_70pj_per_bit(self):
+        collected = dict(BASE_COLLECTED, l1d_accesses=0)
+        on = compute_energy("millipede", self.cfg, _stats("dram"), dict(collected, local_accesses=0))
+        off = compute_energy("multicore", self.cfg, _stats("offchip"), collected)
+        # same traffic, ~70/6 the per-bit energy (plus activation parity)
+        assert off.dram_j > on.dram_j * 5
+
+    def test_idle_energy_proportional_to_idle_cycles(self):
+        c1 = dict(BASE_COLLECTED, local_accesses=0, idle_cycles=1_000)
+        c2 = dict(BASE_COLLECTED, local_accesses=0, idle_cycles=4_000)
+        e1 = compute_energy("millipede", self.cfg, _stats(), c1)
+        e2 = compute_energy("millipede", self.cfg, _stats(), c2)
+        assert e2.idle_j == pytest.approx(4 * e1.idle_j)
+
+    def test_leakage_proportional_to_runtime(self):
+        c1 = dict(BASE_COLLECTED, local_accesses=0)
+        c2 = dict(c1, finish_ps=2_000_000)
+        e1 = compute_energy("millipede", self.cfg, _stats(), c1)
+        e2 = compute_energy("millipede", self.cfg, _stats(), c2)
+        assert e2.leakage_j == pytest.approx(2 * e1.leakage_j)
+
+    def test_multicore_core_multiplier(self):
+        collected = dict(BASE_COLLECTED, l1d_accesses=0)
+        mc = compute_energy("multicore", self.cfg, _stats("offchip"), collected)
+        ss = compute_energy("ssmc", self.cfg, _stats(), collected)
+        assert mc.core_dynamic_j > ss.core_dynamic_j

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event kernel, clocks, and stats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.clock import Clock, period_ps
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        out = []
+        eng.schedule(300, out.append, "c")
+        eng.schedule(100, out.append, "a")
+        eng.schedule(200, out.append, "b")
+        eng.run()
+        assert out == ["a", "b", "c"]
+        assert eng.now == 300
+
+    def test_equal_timestamps_fifo(self):
+        eng = Engine()
+        out = []
+        for i in range(10):
+            eng.schedule(50, out.append, i)
+        eng.run()
+        assert out == list(range(10))
+
+    def test_schedule_from_callback(self):
+        eng = Engine()
+        out = []
+
+        def chain(n):
+            out.append(n)
+            if n < 3:
+                eng.schedule(10, chain, n + 1)
+
+        eng.schedule(0, chain, 0)
+        eng.run()
+        assert out == [0, 1, 2, 3]
+        assert eng.now == 30
+
+    def test_cancel(self):
+        eng = Engine()
+        out = []
+        ev = eng.schedule(100, out.append, "dead")
+        eng.schedule(200, out.append, "alive")
+        eng.cancel(ev)
+        eng.run()
+        assert out == ["alive"]
+
+    def test_pending_counts_live_events(self):
+        eng = Engine()
+        ev = eng.schedule(10, lambda: None)
+        eng.schedule(20, lambda: None)
+        assert eng.pending == 2
+        eng.cancel(ev)
+        assert eng.pending == 1
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(100, lambda: None)
+        eng.run()
+        with pytest.raises(ValueError):
+            eng.schedule_at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_run_until(self):
+        eng = Engine()
+        out = []
+        eng.schedule(100, out.append, 1)
+        eng.schedule(500, out.append, 2)
+        eng.run(until=200)
+        assert out == [1]
+        assert eng.now == 200
+        eng.run()
+        assert out == [1, 2]
+
+    def test_peek_time_skips_cancelled(self):
+        eng = Engine()
+        ev = eng.schedule(10, lambda: None)
+        eng.schedule(20, lambda: None)
+        eng.cancel(ev)
+        assert eng.peek_time() == 20
+
+    def test_step(self):
+        eng = Engine()
+        out = []
+        eng.schedule(10, out.append, "x")
+        assert eng.step() is True
+        assert out == ["x"]
+        assert eng.step() is False
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=200))
+    def test_delivery_order_matches_sorted_times(self, delays):
+        eng = Engine()
+        fired = []
+        for i, d in enumerate(delays):
+            eng.schedule(d, lambda i=i, d=d: fired.append((d, i)))
+        eng.run()
+        assert fired == sorted(fired)  # time-major, FIFO within a timestamp
+
+
+class TestClock:
+    def test_period_rounding(self):
+        assert period_ps(1e12) == 1
+        assert period_ps(700e6) == 1429  # 1428.57 rounds to 1429
+
+    def test_period_positive_required(self):
+        with pytest.raises(ValueError):
+            period_ps(0)
+
+    def test_cycle_conversion_roundtrip(self):
+        c = Clock(1.2e9)
+        assert c.ps_to_cycles(c.cycles_to_ps(17)) == 17
+
+    def test_dfs_changes_period(self):
+        c = Clock(700e6)
+        p0 = c.period_ps
+        c.set_frequency(350e6)
+        assert c.period_ps == pytest.approx(2 * p0, rel=0.01)
+
+    def test_charge_cycles_tracks_per_frequency(self):
+        c = Clock(700e6)
+        c.charge_cycles(100)
+        c.set_frequency(350e6)
+        c.charge_cycles(50)
+        assert c.cycle_log[700e6] == 100
+        assert c.cycle_log[350e6] == 50
+        assert c.total_cycles == 150
+
+
+class TestStats:
+    def test_inc_and_get(self):
+        s = Stats()
+        s.inc("a.b")
+        s.inc("a.b", 4)
+        assert s["a.b"] == 5
+
+    def test_missing_is_zero(self):
+        assert Stats()["nope"] == 0.0
+
+    def test_ratio_zero_denominator(self):
+        assert Stats().ratio("x", "y") == 0.0
+
+    def test_scoped_prefixes(self):
+        s = Stats()
+        sc = s.scoped("dram")
+        sc.inc("hits", 3)
+        assert s["dram.hits"] == 3
+        assert sc["hits"] == 3
+
+    def test_with_prefix_filters(self):
+        s = Stats()
+        s.inc("a.x")
+        s.inc("a.y", 2)
+        s.inc("b.z")
+        assert s.with_prefix("a") == {"a.x": 1, "a.y": 2}
+
+    def test_merge(self):
+        a, b = Stats(), Stats()
+        a.inc("k", 1)
+        b.inc("k", 2)
+        b.inc("only_b", 5)
+        a.merge(b)
+        assert a["k"] == 3 and a["only_b"] == 5

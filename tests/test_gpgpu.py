@@ -1,0 +1,206 @@
+"""SIMT-specific tests: divergence stacks, coalescing, shared memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.gpgpu import GpgpuSM, _Warp
+from repro.config import SystemConfig
+from repro.dram.dram import GlobalMemory
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+from repro.isa.executor import ThreadContext
+from repro.isa.program import Program
+
+
+def make_sm(source: str, n_lanes=8, n_threads=2, width=None, mem_words=4096,
+            config: SystemConfig | None = None):
+    cfg = (config or SystemConfig()).with_core(n_cores=n_lanes, n_threads=n_threads)
+    prog = Program.from_source(source)
+    eng = Engine()
+    stats = Stats()
+    gm = GlobalMemory(mem_words)
+    sm = GpgpuSM(eng, cfg, prog, gm, stats,
+                 input_base_word=0, input_end_word=mem_words,
+                 warp_width=width)
+    return eng, sm, gm
+
+
+DIVERGENT = """
+    # lanes with odd r1 take one path, even the other
+    andi r2, r1, 1
+    beqz r2, even_path
+    li   r3, 100
+    j    join
+even_path:
+    li   r3, 200
+join:
+    halt
+"""
+
+
+class TestDivergence:
+    def test_divergent_branch_executes_both_paths(self):
+        eng, sm, _ = make_sm(DIVERGENT, n_lanes=8, n_threads=1, width=8)
+        sm.set_thread_args([{1: t} for t in range(8)])
+        sm.start()
+        eng.run()
+        assert sm.done
+        assert sm.divergent_branches == 1
+        lanes = sm.warps[0].lanes
+        for t, ctx in enumerate(lanes):
+            assert ctx.regs[3] == (100 if t % 2 else 200)
+
+    def test_uniform_branch_does_not_diverge(self):
+        eng, sm, _ = make_sm(DIVERGENT, n_lanes=8, n_threads=1, width=8)
+        sm.set_thread_args([{1: 2 * t} for t in range(8)])  # all even
+        sm.start()
+        eng.run()
+        assert sm.divergent_branches == 0
+        assert all(ctx.regs[3] == 200 for ctx in sm.warps[0].lanes)
+
+    def test_divergence_costs_extra_warp_instructions(self):
+        def run_with(args):
+            eng, sm, _ = make_sm(DIVERGENT, n_lanes=8, n_threads=1, width=8)
+            sm.set_thread_args(args)
+            sm.start()
+            eng.run()
+            return sm.warp_instructions
+
+        uniform = run_with([{1: 0} for _ in range(8)])
+        divergent = run_with([{1: t} for t in range(8)])
+        assert divergent > uniform
+
+    def test_nested_divergence_reconverges(self):
+        src = """
+            andi r2, r1, 1
+            beqz r2, outer_else
+            andi r3, r1, 2
+            beqz r3, inner_else
+            li   r4, 11
+            j    inner_join
+        inner_else:
+            li   r4, 12
+        inner_join:
+            j    outer_join
+        outer_else:
+            li   r4, 20
+        outer_join:
+            addi r4, r4, 1000
+            halt
+        """
+        eng, sm, _ = make_sm(src, n_lanes=8, n_threads=1, width=8)
+        sm.set_thread_args([{1: t} for t in range(8)])
+        sm.start()
+        eng.run()
+        assert sm.done
+        for t, ctx in enumerate(sm.warps[0].lanes):
+            if t % 2 == 0:
+                expected = 1020
+            elif t % 4 == 3:
+                expected = 1011
+            else:
+                expected = 1012
+            assert ctx.regs[4] == expected, f"lane {t}"
+
+    def test_loop_with_divergent_trip_counts(self):
+        """Lanes iterate r1 times; the warp must serialize correctly and
+        every lane must end with r3 == r1."""
+        src = """
+            li r3, 0
+        loop:
+            bge r3, r1, done
+            addi r3, r3, 1
+            j loop
+        done:
+            halt
+        """
+        eng, sm, _ = make_sm(src, n_lanes=4, n_threads=1, width=4)
+        sm.set_thread_args([{1: t} for t in (3, 7, 1, 5)])
+        sm.start()
+        eng.run()
+        for ctx, n in zip(sm.warps[0].lanes, (3, 7, 1, 5)):
+            assert ctx.regs[3] == n
+
+    def test_divergent_halt_rejected(self):
+        src = """
+            beqz r1, stop
+            nop
+        stop:
+            halt
+        """
+        # this program actually reconverges at halt; craft a truly divergent
+        # halt via different paths both reaching halt only for some lanes is
+        # structurally impossible with PDOM - so assert the reconvergence
+        eng, sm, _ = make_sm(src, n_lanes=4, n_threads=1, width=4)
+        sm.set_thread_args([{1: t % 2} for t in range(4)])
+        sm.start()
+        eng.run()
+        assert sm.done
+
+
+class TestMemoryPath:
+    def test_coalesced_load(self):
+        src = """
+            add r2, r0, r1
+            ldg r3, r2, 0
+            halt
+        """
+        eng, sm, gm = make_sm(src, n_lanes=8, n_threads=1, width=8)
+        gm.data[:8] = np.arange(8) * 2.0
+        sm.set_thread_args([{1: t} for t in range(8)])
+        sm.start()
+        eng.run()
+        # 8 consecutive words: one 128B-line transaction
+        assert sm.mem_transactions == 1
+        for t, ctx in enumerate(sm.warps[0].lanes):
+            assert ctx.regs[3] == 2.0 * t
+
+    def test_scattered_load_needs_more_transactions(self):
+        src = """
+            muli r2, r1, 64
+            ldg r3, r2, 0
+            halt
+        """
+        eng, sm, gm = make_sm(src, n_lanes=8, n_threads=1, width=8)
+        sm.set_thread_args([{1: t} for t in range(8)])
+        sm.start()
+        eng.run()
+        assert sm.mem_transactions > 1
+
+    def test_shared_memory_private_per_thread(self):
+        src = """
+            stl r1, r0, 0
+            ldl r4, r0, 0
+            halt
+        """
+        eng, sm, _ = make_sm(src, n_lanes=8, n_threads=2, width=8)
+        sm.set_thread_args([{1: 100 + t} for t in range(16)])
+        sm.start()
+        eng.run()
+        for w in sm.warps:
+            for ctx in w.lanes:
+                assert ctx.regs[4] == 100 + ctx.tid
+
+    def test_shared_memory_conflict_free_striping(self):
+        eng, sm, _ = make_sm("halt", n_lanes=8, n_threads=2, width=8)
+        addrs = [sm._translate_shared(g, (g * 13) % 32) for g in range(16)]
+        banks = [a % sm.shared_mem.n_banks for a in addrs]
+        assert len(set(banks)) == len(set(g % sm.shared_mem.n_banks for g in range(16)))
+
+    def test_state_capacity_enforced(self):
+        eng, sm, _ = make_sm("halt", n_lanes=8, n_threads=2, width=8)
+        with pytest.raises(IndexError, match="partition"):
+            sm._translate_shared(0, sm.state_words)
+
+
+class TestWarpGeometry:
+    def test_lane_count_must_divide(self):
+        with pytest.raises(ValueError, match="divisible"):
+            make_sm("halt", n_lanes=8, width=3)
+
+    def test_narrow_warps_issue_in_parallel_slices(self):
+        eng, sm, _ = make_sm("halt", n_lanes=8, n_threads=1, width=2)
+        assert sm.issue_slots == 4
+        assert len(sm.warps) == 4

@@ -1,0 +1,105 @@
+"""Unit + property tests for the data layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout.aos import ArrayOfStructsLayout
+from repro.layout.interleaved import InterleavedLayout
+
+
+class TestInterleaved:
+    def test_field_major_within_block(self):
+        lay = InterleavedLayout(1024, 3, 512)
+        # same field, consecutive records: adjacent words
+        assert lay.addr(1, 0) - lay.addr(0, 0) == 1
+        # same record, consecutive fields: one block-row apart
+        assert lay.addr(0, 1) - lay.addr(0, 0) == 512
+        # block stride
+        assert lay.addr(512, 0) - lay.addr(0, 0) == 3 * 512
+
+    def test_requires_whole_blocks(self):
+        with pytest.raises(ValueError, match="divisible"):
+            InterleavedLayout(1000, 2, 512)
+
+    def test_addr_bounds(self):
+        lay = InterleavedLayout(512, 2, 512)
+        with pytest.raises(IndexError):
+            lay.addr(512, 0)
+        with pytest.raises(IndexError):
+            lay.addr(0, 2)
+
+    def test_pack_unpack_roundtrip(self):
+        lay = InterleavedLayout(1024, 4, 512)
+        rng = np.random.default_rng(0)
+        fields = [rng.random(1024) for _ in range(4)]
+        image = lay.pack(fields)
+        back = lay.unpack(image)
+        for a, b in zip(fields, back):
+            assert np.array_equal(a, b)
+
+    def test_pack_places_by_addr(self):
+        lay = InterleavedLayout(1024, 2, 512)
+        fields = [np.arange(1024, dtype=float), np.arange(1024, dtype=float) + 10_000]
+        image = lay.pack(fields)
+        for r in (0, 5, 511, 512, 1023):
+            for f in (0, 1):
+                assert image[lay.addr(r, f)] == fields[f][r]
+
+    @given(
+        st.integers(min_value=1, max_value=4),   # blocks
+        st.integers(min_value=1, max_value=5),   # fields
+        st.integers(min_value=1, max_value=64),  # block size
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_addresses_are_a_bijection(self, blocks, fields, bsize):
+        lay = InterleavedLayout(blocks * bsize, fields, bsize)
+        addrs = {
+            lay.addr(r, f)
+            for r in range(lay.n_records)
+            for f in range(fields)
+        }
+        assert len(addrs) == lay.total_words
+        assert min(addrs) == 0 and max(addrs) == lay.total_words - 1
+
+    def test_base_offset_applies(self):
+        lay = InterleavedLayout(512, 1, 512, base=1024)
+        assert lay.addr(0, 0) == 1024
+        assert lay.end == 1024 + 512
+
+
+class TestAos:
+    def test_record_major(self):
+        lay = ArrayOfStructsLayout(10, 4)
+        assert lay.addr(2, 3) == 11
+        assert lay.addr(3, 0) - lay.addr(2, 0) == 4
+
+    def test_pack_unpack_roundtrip(self):
+        lay = ArrayOfStructsLayout(100, 3)
+        rng = np.random.default_rng(1)
+        fields = [rng.random(100) for _ in range(3)]
+        back = lay.unpack(lay.pack(fields))
+        for a, b in zip(fields, back):
+            assert np.array_equal(a, b)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_bijection(self, n, f):
+        lay = ArrayOfStructsLayout(n, f)
+        addrs = {lay.addr(r, k) for r in range(n) for k in range(f)}
+        assert len(addrs) == n * f
+
+
+class TestLayoutContrast:
+    def test_parallel_same_field_locality(self):
+        """The paper's section III-B argument, as a measurable property:
+        32 threads reading field 0 of their current records touch 32
+        consecutive words interleaved vs a 32*F-word span in AoS."""
+        inter = InterleavedLayout(512, 8, 512)
+        aos = ArrayOfStructsLayout(512, 8)
+        inter_span = [inter.addr(t, 0) for t in range(32)]
+        aos_span = [aos.addr(t, 0) for t in range(32)]
+        assert max(inter_span) - min(inter_span) == 31
+        assert max(aos_span) - min(aos_span) == 31 * 8

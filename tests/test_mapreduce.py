@@ -1,0 +1,70 @@
+"""Tests for the MapReduce host/cluster layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.framework import MapReduceJob
+from repro.mapreduce.host import host_reduce, node_reduce_seconds
+from repro.mapreduce.shuffle import ClusterModel
+
+
+class TestHostReduce:
+    def test_elementwise_sum(self):
+        states = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        assert np.array_equal(host_reduce(states), [4.0, 6.0])
+
+    def test_node_reduce_time_scales(self):
+        small = node_reduce_seconds(64, 128)
+        big = node_reduce_seconds(256, 4096)
+        assert big > small
+        # the paper: hundreds of microseconds for a full node
+        assert node_reduce_seconds(256, 4096) < 5e-3
+
+
+class TestClusterModel:
+    def test_tree_depth(self):
+        assert ClusterModel(n_nodes=1).tree_depth() == 0
+        assert ClusterModel(n_nodes=16, fanin=16).tree_depth() == 1
+        assert ClusterModel(n_nodes=5000, fanin=16).tree_depth() == 4
+
+    def test_final_reduce_tens_of_milliseconds_scale(self):
+        """Section IV-D: 'the global final Reduce across 5000 nodes of a
+        cluster takes tens of milliseconds' - for a realistically-sized
+        state blob our model lands at or below that scale."""
+        c = ClusterModel(n_nodes=5000)
+        t = c.final_reduce_seconds(state_bytes=1 << 20)  # 1 MB reduced state
+        assert 1e-4 < t < 0.1
+
+    def test_shuffle_bytes(self):
+        c = ClusterModel(n_nodes=10)
+        assert c.shuffle_bytes(100) == 900
+
+
+class TestMapReduceJob:
+    @pytest.fixture(scope="class")
+    def job_result(self):
+        job = MapReduceJob("count", arch="millipede", cluster=ClusterModel(n_nodes=100))
+        return job.execute(records_per_node=2048)
+
+    def test_node_result_validated(self, job_result):
+        assert job_result.node.run_result.validated
+        assert job_result.node.map_seconds > 0
+
+    def test_final_scales_additive_fields(self, job_result):
+        node_counts = np.asarray(job_result.node.reduced["counts"])
+        final_counts = np.asarray(job_result.final["counts"])
+        assert np.array_equal(final_counts, node_counts * 100)
+
+    def test_total_time_composition(self, job_result):
+        assert job_result.total_seconds == pytest.approx(
+            job_result.node.node_seconds + job_result.final_reduce_seconds
+        )
+
+    def test_map_dominates_at_scale(self, job_result):
+        """At full (128 MB/node) scale Map time dwarfs the final Reduce;
+        extrapolate the measured per-word Map rate."""
+        words_full = 128 * 1024 * 1024 // 4
+        map_full = words_full / job_result.node.run_result.throughput_words_per_s
+        assert map_full > 100 * job_result.final_reduce_seconds

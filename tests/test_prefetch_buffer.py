@@ -1,0 +1,199 @@
+"""Unit tests for Millipede's flow-controlled row prefetch buffer -
+the paper's central mechanism (section IV-C, Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.dram.controller import MemoryController
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+from repro.mem.prefetch_buffer import PBAccessResult, PrefetchBuffer
+
+ROW_WORDS = 512
+N_CORELETS = 8
+SLAB = ROW_WORDS // N_CORELETS  # 64 words per corelet per row
+
+
+def make_pb(flow_control=True, n_entries=4, prefetch_ahead=2, init_depth=2):
+    eng = Engine()
+    stats = Stats()
+    mc = MemoryController(eng, SystemConfig().dram, stats)
+    pb = PrefetchBuffer(
+        eng, mc, stats,
+        n_corelets=N_CORELETS,
+        n_entries=n_entries,
+        row_words=ROW_WORDS,
+        flow_control=flow_control,
+        init_depth=init_depth,
+        prefetch_ahead=prefetch_ahead,
+    )
+    return eng, pb, stats
+
+
+def consume_row(eng, pb, corelet, row, collector):
+    """Schedule the corelet's full slab consumption of ``row`` at now."""
+    base = row * ROW_WORDS + corelet * SLAB
+    for w in range(SLAB):
+        eng.schedule(0, pb.demand_access, corelet, base + w, collector)
+
+
+class TestBasicOperation:
+    def test_start_prefetches_initial_rows(self):
+        eng, pb, stats = make_pb()
+        pb.start(0, 7)
+        assert pb.occupancy == 2
+        eng.run()
+        assert stats["pb.rows_prefetched"] == 2
+
+    def test_hit_after_fill(self):
+        eng, pb, stats = make_pb()
+        pb.start(0, 7)
+        eng.run()  # fills complete
+        results = []
+        eng.schedule(0, pb.demand_access, 0, 0, lambda t, c: results.append(c))
+        eng.run()
+        assert results == [PBAccessResult.HIT]
+
+    def test_wait_on_inflight_fill(self):
+        eng, pb, stats = make_pb()
+        pb.start(0, 7)
+        results = []
+        # access immediately, before the DRAM fill can have completed
+        eng.schedule(0, pb.demand_access, 0, 0, lambda t, c: results.append(c))
+        eng.run()
+        assert results == [PBAccessResult.FILL_WAIT]
+        assert stats["pb.fill_waits"] == 1
+
+    def test_first_touch_triggers_ahead(self):
+        eng, pb, stats = make_pb(prefetch_ahead=2)
+        pb.start(0, 7)
+        eng.run()
+        got = []
+        eng.schedule(0, pb.demand_access, 0, 0, lambda t, c: got.append(c))
+        eng.run()
+        # first touch of row 0 pulled the tail to row 0+ahead
+        assert pb.tail_row == 2
+
+    def test_df_counter_saturates_on_full_consumption(self):
+        eng, pb, stats = make_pb()
+        pb.start(0, 7)
+        eng.run()
+        got = []
+        for c in range(N_CORELETS):
+            consume_row(eng, pb, c, 0, lambda t, code: got.append(code))
+        eng.run()
+        assert pb.entries[0].row != 0 or pb.entries[0].df_count == N_CORELETS
+
+    def test_overconsumption_detected(self):
+        """Reading a word twice violates the consume-exactly-once slab
+        invariant and must be caught loudly."""
+        eng, pb, stats = make_pb()
+        pb.start(0, 7)
+        eng.run()
+        for _ in range(SLAB + 1):
+            eng.schedule(0, pb.demand_access, 0, 0, lambda t, c: None)
+        with pytest.raises(AssertionError, match="exactly once"):
+            eng.run()
+
+    def test_out_of_range_rejected(self):
+        eng, pb, stats = make_pb()
+        pb.start(0, 3)
+        with pytest.raises(IndexError):
+            eng.schedule(0, pb.demand_access, 0, 10 * ROW_WORDS, lambda t, c: None)
+            eng.run()
+
+
+class TestFlowControl:
+    def _fill_and_consume_rows(self, eng, pb, corelets, rows, collector):
+        for row in rows:
+            for c in corelets:
+                consume_row(eng, pb, c, row, collector)
+            eng.run()
+
+    def test_leader_defers_when_head_unconsumed(self):
+        """A leading corelet that outruns the queue must wait (alloc_wait /
+        flow_defer), not evict the head - Fig. 2's timeline."""
+        eng, pb, stats = make_pb(flow_control=True, n_entries=4, prefetch_ahead=3)
+        pb.start(0, 15)
+        eng.run()
+        results = []
+        # corelet 0 storms ahead through many rows; corelets 1..7 never run
+        for row in range(5):
+            consume_row(eng, pb, 0, row, lambda t, c: results.append(c))
+            eng.run()
+        assert stats["pb.flow_defers"] + stats["pb.alloc_waits"] > 0
+        assert stats["pb.premature_evictions"] == 0
+        # the head entry is still the unconsumed row 0
+        assert pb.head_row == 0
+
+    def test_laggard_unblocks_leader(self):
+        eng, pb, stats = make_pb(flow_control=True, n_entries=4, prefetch_ahead=3)
+        pb.start(0, 15)
+        eng.run()
+        done = []
+        # leader consumes rows 0..4 (will stall needing allocation)
+        for row in range(5):
+            consume_row(eng, pb, 0, row, lambda t, c: done.append(("lead", c)))
+        eng.run()
+        stalled = len([d for d in done])
+        # now every laggard consumes rows 0..4: head drains, leader resumes
+        for row in range(5):
+            for c in range(1, N_CORELETS):
+                consume_row(eng, pb, c, row, lambda t, c_: done.append(("lag", c_)))
+            eng.run()
+        eng.run()
+        total = len(done)
+        assert total == 5 * N_CORELETS * SLAB  # every access completed
+        assert stats["pb.premature_evictions"] == 0
+
+    def test_no_flow_control_evicts_prematurely(self):
+        eng, pb, stats = make_pb(flow_control=False, n_entries=4, prefetch_ahead=3)
+        pb.start(0, 15)
+        eng.run()
+        results = []
+        for row in range(6):
+            consume_row(eng, pb, 0, row, lambda t, c: results.append(c))
+            eng.run()
+        assert stats["pb.premature_evictions"] > 0
+        # laggard now misses on the evicted rows and goes to DRAM
+        lag = []
+        consume_row(eng, pb, 1, 0, lambda t, c: lag.append(c))
+        eng.run()
+        assert PBAccessResult.EVICTED_MISS in lag
+        assert stats["pb.evicted_misses"] > 0
+
+    def test_flow_control_never_loses_accesses(self):
+        """End-to-end drain: all corelets consume all rows in a staggered
+        order; every access must complete exactly once."""
+        eng, pb, stats = make_pb(flow_control=True, n_entries=4, prefetch_ahead=2)
+        n_rows = 10
+        pb.start(0, n_rows - 1)
+        count = [0]
+        for row in range(n_rows):
+            for c in range(N_CORELETS):
+                consume_row(eng, pb, c, row, lambda t, c_: count.__setitem__(0, count[0] + 1))
+            eng.run()
+        assert count[0] == n_rows * N_CORELETS * SLAB
+
+
+class TestRateMatchSignals:
+    def test_empty_signal_on_fill_wait(self):
+        eng, pb, stats = make_pb()
+        empty = []
+        pb.on_empty_wait = lambda: empty.append(1)
+        pb.start(0, 7)
+        eng.schedule(0, pb.demand_access, 0, 0, lambda t, c: None)
+        eng.run()
+        assert empty
+
+    def test_full_signal_when_memory_ahead(self):
+        eng, pb, stats = make_pb()
+        full = []
+        pb.on_full_defer = lambda: full.append(1)
+        pb.start(0, 7)
+        eng.run()  # all fills complete: memory comfortably ahead
+        eng.schedule(0, pb.demand_access, 0, 0, lambda t, c: None)
+        eng.run()
+        assert full

@@ -1,0 +1,50 @@
+"""Tests for the developer-tools CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+class TestToolsCli:
+    def test_disasm(self, capsys):
+        assert main(["disasm", "count", "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "ldg" in out and "reconv" in out
+
+    def test_disasm_interleaved_traversal(self, capsys):
+        assert main(["disasm", "count", "--threads", "16",
+                     "--traversal", "interleaved"]) == 0
+        out = capsys.readouterr().out
+        # interleaved init loads the base then adds tid (chunked scales tid)
+        assert "mov r10, r4" in out
+
+    def test_layout(self, capsys):
+        assert main(["layout", "nbayes", "--threads", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "word addr" in out
+
+    def test_arches(self, capsys):
+        assert main(["arches"]) == 0
+        out = capsys.readouterr().out
+        assert "millipede" in out and "gpgpu" in out
+
+    def test_inspect_runs_simulation(self, capsys):
+        assert main(["inspect", "millipede", "count", "--records", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "bus utilization" in out
+        assert "roofline" in out
+
+    def test_inspect_stats_dump(self, capsys):
+        assert main(["inspect", "ssmc", "count", "--records", "1024", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "dram.requests" in out
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(KeyError):
+            main(["disasm", "nope"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,217 @@
+"""Unit tests for the workload framework and all nine kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import Op
+from repro.isa.program import Program
+from repro.workloads import WORKLOADS, get_workload, record_loop, workload_names
+from repro.workloads.base import compare_results, thread_record_indices
+
+ALL_NAMES = list(WORKLOADS)
+
+
+class TestRegistry:
+    def test_eight_paper_benchmarks(self):
+        assert workload_names() == [
+            "count", "sample", "variance", "nbayes",
+            "classify", "kmeans", "pca", "gda",
+        ]
+
+    def test_varwork_registered_but_not_in_paper_suite(self):
+        assert "varwork" in WORKLOADS
+        assert "varwork" not in workload_names()
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nope")
+
+
+class TestStateBudget:
+    """Every workload's per-thread state must fit all architectures'
+    per-thread partitions (4 KB local / 4 contexts = 256 words; 128 KB
+    shared / 128 threads = 256 words)."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_state_fits_256_words(self, name):
+        wl = get_workload(name)
+        assert wl.state_words <= 256, f"{name} state {wl.state_words} words"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_initial_state_matches_declaration(self, name):
+        wl = get_workload(name)
+        init = wl.initial_state()
+        if init is not None:
+            assert len(init) == wl.state_words
+
+
+class TestKernels:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_kernel_assembles(self, name):
+        wl = get_workload(name)
+        built = wl.build(n_threads=16, n_records=512)
+        assert isinstance(built.program, Program)
+        assert built.program.code_bytes <= 4096, "kernel exceeds the 4 KB I-cache"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_kernel_reads_every_field_exactly_once(self, name):
+        """Row-density invariant: per record, the kernel must issue exactly
+        one LDG per field (static check: LDG count == n_fields... the
+        varwork loop body has none inside the loop)."""
+        wl = get_workload(name)
+        built = wl.build(n_threads=16, n_records=512)
+        ldg = sum(1 for i in built.program.instrs if i.op == Op.LDG)
+        assert ldg == wl.n_fields
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_kernel_has_no_global_stores(self, name):
+        wl = get_workload(name)
+        built = wl.build(n_threads=16, n_records=512)
+        assert all(i.op != Op.STG for i in built.program.instrs)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_local_addresses_within_declared_state(self, name):
+        """Static bound: immediate offsets of local accesses never exceed
+        the declared state size (register parts are checked at runtime)."""
+        wl = get_workload(name)
+        built = wl.build(n_threads=16, n_records=512)
+        for ins in built.program.instrs:
+            if ins.op in (Op.LDL, Op.STL):
+                assert ins.imm < wl.state_words
+
+
+class TestBuild:
+    def test_pads_to_whole_blocks(self):
+        built = get_workload("count").build(n_threads=16, n_records=700)
+        assert built.n_records == 1024  # padded to 512-record blocks
+
+    def test_block_must_divide_by_threads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            get_workload("count").build(n_threads=96, n_records=512)
+
+    def test_thread_args_complete(self):
+        built = get_workload("nbayes").build(n_threads=16, n_records=512)
+        assert len(built.thread_args) == 16
+        for tid, args in enumerate(built.thread_args):
+            assert args[1] == tid
+            assert args[2] == 16
+
+    def test_deterministic_given_seed(self):
+        a = get_workload("kmeans").build(16, 512, seed=7)
+        b = get_workload("kmeans").build(16, 512, seed=7)
+        assert np.array_equal(a.memory_image, b.memory_image)
+
+    def test_different_seeds_differ(self):
+        a = get_workload("count").build(16, 512, seed=1)
+        b = get_workload("count").build(16, 512, seed=2)
+        assert not np.array_equal(a.memory_image, b.memory_image)
+
+    def test_layout_roundtrip_through_image(self):
+        wl = get_workload("nbayes")
+        built = wl.build(16, 512, seed=3)
+        rng = np.random.default_rng(3)
+        fields = wl.make_fields(built.n_records, rng)
+        unpacked = built.layout.unpack(built.memory_image)
+        for f, arr in enumerate(fields):
+            assert np.array_equal(unpacked[f], arr)
+
+
+class TestRecordLoop:
+    def test_chunked_and_interleaved_partition_records(self):
+        n, B, T = 2048, 512, 16
+        for traversal in ("chunked", "interleaved"):
+            seen = np.zeros(n, dtype=int)
+            for t in range(T):
+                idx = thread_record_indices(t, T, n, B, traversal)
+                seen[idx] += 1
+            assert np.all(seen == 1), f"{traversal} does not partition records"
+
+    @given(st.sampled_from(["chunked", "interleaved"]),
+           st.integers(min_value=0, max_value=15))
+    @settings(max_examples=20, deadline=None)
+    def test_indices_sorted_in_processing_order(self, traversal, tid):
+        idx = thread_record_indices(tid, 16, 1024, 512, traversal)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_barrier_emitted_when_requested(self):
+        src = record_loop("    nop", 1, 512, 16, record_barrier=True)
+        assert "bar" in src
+        src2 = record_loop("    nop", 1, 512, 16, record_barrier=False)
+        assert "\n    bar\n" not in src2
+
+    def test_unknown_traversal_rejected(self):
+        with pytest.raises(ValueError, match="traversal"):
+            record_loop("    nop", 1, 512, 16, traversal="zigzag")
+
+
+class TestCompareResults:
+    def test_integer_mismatch_raises(self):
+        with pytest.raises(AssertionError, match="integer mismatch"):
+            compare_results(
+                {"a": np.array([1, 2])}, {"a": np.array([1, 3])}
+            )
+
+    def test_float_tolerance(self):
+        compare_results(
+            {"a": np.array([1.0 + 1e-12])}, {"a": np.array([1.0])}
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AssertionError, match="shape"):
+            compare_results({"a": np.zeros(2)}, {"a": np.zeros(3)})
+
+    def test_key_mismatch_raises(self):
+        with pytest.raises(AssertionError, match="keys"):
+            compare_results({"a": np.zeros(2)}, {"b": np.zeros(2)})
+
+
+class TestGoldenModels:
+    """Spot-check golden models against straightforward recomputation."""
+
+    def test_count_golden(self):
+        wl = get_workload("count")
+        rng = np.random.default_rng(0)
+        fields = wl.make_fields(1024, rng)
+        g = wl.golden_result(fields, 16)
+        assert g["counts"].sum() + g["invalid"] == 1024
+
+    def test_variance_finalize(self):
+        from repro.workloads.variance import VarianceWorkload
+
+        counts = np.array([4])
+        sums = np.array([10.0])
+        sumsqs = np.array([30.0])
+        var = VarianceWorkload.finalize(counts, sums, sumsqs)
+        assert var[0] == pytest.approx(30 / 4 - 2.5**2)
+
+    def test_kmeans_finalize(self):
+        from repro.workloads.kmeans import KmeansWorkload
+
+        counts = np.array([2, 0])
+        sums = np.array([[4.0, 6.0], [0.0, 0.0]])
+        cents = KmeansWorkload.finalize(counts, sums)
+        assert np.allclose(cents[0], [2.0, 3.0])
+        assert np.allclose(cents[1], [0.0, 0.0])
+
+    def test_pca_finalize_matches_numpy_cov(self):
+        from repro.workloads.pca import PcaWorkload
+
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(200, 4))
+        sums = pts.sum(axis=0)
+        tri = (pts.T @ pts)[np.triu_indices(4)]
+        cov = PcaWorkload.finalize(sums, tri, len(pts), 4)
+        expected = np.cov(pts.T, bias=True)
+        assert np.allclose(cov, expected)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_gda_class_counts_partition(self, seed):
+        wl = get_workload("gda")
+        rng = np.random.default_rng(seed)
+        fields = wl.make_fields(512, rng)
+        g = wl.golden_result(fields, 16)
+        assert g["class_count"].sum() == 512

@@ -1,0 +1,41 @@
+"""Campaign-runner benchmark: a Fig.-3-shaped sweep through ``run_batch``.
+
+Times the batch API end to end (spec dedup, per-worker build reuse,
+multiprocess dispatch) and asserts parallel results are bit-identical to
+serial ones.  On a multi-core machine the ``workers=2`` regeneration
+should beat the serial one; on a single core it only checks overhead
+stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FAST_RECORDS, run_once
+from repro.sim.campaign import cross, run_batch
+
+ARCHES = ["gpgpu", "ssmc", "millipede"]
+BENCHES = ["count", "variance", "kmeans"]
+
+
+@pytest.fixture(scope="module")
+def serial_batch():
+    specs = cross(ARCHES, BENCHES, n_records=FAST_RECORDS)
+    return specs, run_batch(specs, workers=1)
+
+
+def test_batch_serial(benchmark, fast_records):
+    specs = cross(ARCHES, BENCHES, n_records=fast_records)
+    results = run_once(benchmark, run_batch, specs, workers=1)
+    assert [(r.arch, r.workload) for r in results] == [
+        (s.arch, s.workload) for s in specs
+    ]
+
+
+def test_batch_two_workers_identical(benchmark, fast_records, serial_batch):
+    specs, serial = serial_batch
+    parallel = run_once(benchmark, run_batch, specs, workers=2)
+    for a, b in zip(serial, parallel):
+        assert a.finish_ps == b.finish_ps
+        assert a.collected == b.collected
+        assert a.stats == b.stats

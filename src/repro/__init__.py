@@ -8,6 +8,13 @@ Quick start
 >>> result.validated                                     # doctest: +SKIP
 True
 
+Batches of runs are described by frozen :class:`RunSpec` values and fanned
+out over worker processes (deduplicated + disk-cached) by ``run_batch``:
+
+>>> from repro import RunSpec, run_batch
+>>> specs = [RunSpec(a, "count") for a in ("ssmc", "millipede")]
+>>> results = run_batch(specs, workers=4)                # doctest: +SKIP
+
 The package layers:
 
 * :mod:`repro.engine`    - discrete-event simulation kernel
@@ -25,17 +32,22 @@ The package layers:
 """
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.campaign import BatchProgress, run_batch
 from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
+from repro.sim.spec import RunSpec
 from repro.workloads.registry import get_workload, workload_names
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SystemConfig",
     "ARCHITECTURES",
+    "BatchProgress",
     "RunResult",
+    "RunSpec",
     "run",
+    "run_batch",
     "run_many",
     "get_workload",
     "workload_names",

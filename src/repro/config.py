@@ -205,6 +205,43 @@ class SystemConfig:
         """Shallow ``dataclasses.replace`` convenience."""
         return dataclasses.replace(self, **kwargs)
 
+    # ------------------------------------------------------------------
+    # canonical dict / hash round-trip (used by RunSpec and the result
+    # cache so a config can cross process and disk boundaries losslessly)
+    # ------------------------------------------------------------------
+    def as_canonical_dict(self) -> dict:
+        """Plain nested dict of every field, suitable for JSON/pickling."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Inverse of :meth:`as_canonical_dict`.
+
+        Unknown keys are rejected (they would silently change the
+        fingerprint); missing sections fall back to their defaults."""
+        kwargs = {}
+        for key, value in data.items():
+            section = _CONFIG_SECTIONS.get(key)
+            if section is not None:
+                kwargs[key] = section(**value)
+            elif key == "n_processors":
+                kwargs[key] = value
+            else:
+                raise KeyError(f"unknown SystemConfig field {key!r}")
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding (sorted keys) of every field."""
+        import json
+
+        return json.dumps(self.as_canonical_dict(), sort_keys=True, default=str)
+
+    def fingerprint(self) -> str:
+        """Stable short hash of every config field."""
+        import hashlib
+
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
     def with_core(self, **kwargs) -> "SystemConfig":
         return self.replace(core=dataclasses.replace(self.core, **kwargs))
 
@@ -247,5 +284,17 @@ class SystemConfig:
             core=dataclasses.replace(self.core, n_cores=n), dram=dram, gpgpu=gpgpu
         )
 
+
+#: nested dataclass type per SystemConfig section (for from_dict)
+_CONFIG_SECTIONS: dict[str, type] = {
+    "core": CoreConfig,
+    "dram": DramConfig,
+    "millipede": MillipedeConfig,
+    "ssmc": SsmcConfig,
+    "gpgpu": GpgpuConfig,
+    "vws": VwsConfig,
+    "multicore": MulticoreConfig,
+    "energy": EnergyConfig,
+}
 
 DEFAULT_CONFIG = SystemConfig()

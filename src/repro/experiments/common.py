@@ -8,7 +8,9 @@ from typing import Optional, Sequence
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim.cache import ResultCache
-from repro.sim.driver import RunResult, run, run_many
+from repro.sim.campaign import cross, run_batch
+from repro.sim.driver import RunResult
+from repro.sim.spec import RunSpec
 from repro.workloads.registry import workload_names
 
 #: benchmark order used on every figure's x axis (the paper orders by
@@ -31,14 +33,18 @@ def cached_run(
     cache: Optional[ResultCache] = None,
 ) -> RunResult:
     """`run` with optional disk caching keyed on the full configuration."""
-    if cache is not None:
-        hit = cache.get(arch, workload, n_records, seed, config)
-        if hit is not None:
-            return hit
-    result = run(arch, workload, config=config, n_records=n_records, seed=seed)
-    if cache is not None:
-        cache.put(result, n_records, seed, config)
-    return result
+    spec = RunSpec(arch, workload, config=config, n_records=n_records, seed=seed)
+    return run_batch([spec], workers=1, cache=cache)[0]
+
+
+def batch_run(
+    specs: Sequence[RunSpec],
+    cache: Optional[ResultCache] = None,
+    workers: int = 1,
+) -> dict[RunSpec, RunResult]:
+    """`run_batch` returning a spec -> result mapping (experiment modules
+    index results by (arch, workload) via their spec objects)."""
+    return dict(zip(specs, run_batch(specs, workers=workers, cache=cache)))
 
 
 def sweep(
@@ -48,17 +54,14 @@ def sweep(
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> dict[str, dict[str, RunResult]]:
     """results[workload][arch] for the full cross product."""
-    out: dict[str, dict[str, RunResult]] = {}
-    for wl in benches:
-        if cache is not None:
-            row = {
-                a: cached_run(a, wl, config, n_records, seed, cache) for a in arches
-            }
-        else:
-            row = run_many(list(arches), wl, config=config, n_records=n_records, seed=seed)
-        out[wl] = row
+    specs = cross(arches, benches, config=config, n_records=n_records, seed=seed)
+    results = run_batch(specs, workers=workers, cache=cache)
+    out: dict[str, dict[str, RunResult]] = {wl: {} for wl in benches}
+    for spec, result in zip(specs, results):
+        out[spec.workload][spec.arch] = result
     return out
 
 

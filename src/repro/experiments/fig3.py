@@ -32,8 +32,9 @@ def run_experiment(
     config: SystemConfig = DEFAULT_CONFIG,
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
-    results = sweep(FIG3_ARCHES, BENCHES, config, n_records, cache)
+    results = sweep(FIG3_ARCHES, BENCHES, config, n_records, cache, workers=workers)
 
     rows = []
     for wl in BENCHES:

@@ -19,9 +19,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
-from repro.experiments.common import BENCHES, ExperimentResult, cached_run, geomean
+from repro.experiments.common import BENCHES, ExperimentResult, batch_run, geomean
 from repro.mapreduce.host import node_reduce_seconds
 from repro.sim.cache import ResultCache
+from repro.sim.spec import RunSpec
 
 PAPER_ENERGY_DELAY = 125.0
 
@@ -30,13 +31,20 @@ def run_experiment(
     config: SystemConfig = DEFAULT_CONFIG,
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
+    specs = {
+        (a, wl): RunSpec(a, wl, config=config, n_records=n_records)
+        for wl in BENCHES
+        for a in ("millipede-rm", "multicore")
+    }
+    results = batch_run(list(specs.values()), cache=cache, workers=workers)
     rows = []
     speedups, energy_gains, ed_gains = [], [], []
     n_proc = config.n_processors
     for wl in BENCHES:
-        mill = cached_run("millipede-rm", wl, config, n_records, cache=cache)
-        mc = cached_run("multicore", wl, config, n_records, cache=cache)
+        mill = results[specs["millipede-rm", wl]]
+        mc = results[specs["multicore", wl]]
 
         # node-level Millipede: n_proc processors, private channels
         mill_node_tput = mill.throughput_words_per_s * n_proc

@@ -11,8 +11,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
-from repro.experiments.common import BENCHES, ExperimentResult, cached_run, geomean
+from repro.experiments.common import BENCHES, ExperimentResult, batch_run, geomean
 from repro.sim.cache import ResultCache
+from repro.sim.spec import RunSpec
 
 SIZES = [32, 64]
 ARCHES = ["gpgpu", "ssmc", "millipede"]
@@ -22,16 +23,23 @@ def run_experiment(
     config: SystemConfig = DEFAULT_CONFIG,
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
+    # one batch across both system sizes (specs carry their own config)
+    specs = {
+        (size, a, wl): RunSpec(a, wl, config=config.scaled_system_size(size),
+                               n_records=n_records)
+        for size in SIZES
+        for wl in BENCHES
+        for a in ARCHES
+    }
+    batch = batch_run(list(specs.values()), cache=cache, workers=workers)
     # results[size][arch][wl]
-    res: dict[int, dict[str, dict[str, float]]] = {}
-    for size in SIZES:
-        cfg = config.scaled_system_size(size)
-        res[size] = {a: {} for a in ARCHES}
-        for wl in BENCHES:
-            for a in ARCHES:
-                r = cached_run(a, wl, cfg, n_records, cache=cache)
-                res[size][a][wl] = r.throughput_words_per_s
+    res: dict[int, dict[str, dict[str, float]]] = {
+        size: {a: {} for a in ARCHES} for size in SIZES
+    }
+    for (size, a, wl), spec in specs.items():
+        res[size][a][wl] = batch[spec].throughput_words_per_s
 
     rows = []
     for wl in BENCHES:

@@ -15,8 +15,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
-from repro.experiments.common import ExperimentResult, cached_run, geomean
+from repro.experiments.common import ExperimentResult, batch_run, geomean
 from repro.sim.cache import ResultCache
+from repro.sim.spec import RunSpec
 
 ENTRY_COUNTS = [2, 4, 8, 16, 32]
 #: a representative slice: the two lightest, one medium, one heavy, plus
@@ -28,16 +29,21 @@ def run_experiment(
     config: SystemConfig = DEFAULT_CONFIG,
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
-    tput: dict[str, dict[int, float]] = {wl: {} for wl in FIG7_BENCHES}
+    specs = {}
     for entries in ENTRY_COUNTS:
         cfg = config.with_millipede(
             prefetch_entries=entries,
             prefetch_ahead=min(config.millipede.prefetch_ahead, entries - 1) if entries > 1 else 1,
         )
         for wl in FIG7_BENCHES:
-            r = cached_run("millipede", wl, cfg, n_records, cache=cache)
-            tput[wl][entries] = r.throughput_words_per_s
+            specs[entries, wl] = RunSpec("millipede", wl, config=cfg,
+                                         n_records=n_records)
+    batch = batch_run(list(specs.values()), cache=cache, workers=workers)
+    tput: dict[str, dict[int, float]] = {wl: {} for wl in FIG7_BENCHES}
+    for (entries, wl), spec in specs.items():
+        tput[wl][entries] = batch[spec].throughput_words_per_s
 
     rows = []
     for wl in FIG7_BENCHES:

@@ -3,7 +3,7 @@
 Examples::
 
     python -m repro.experiments table4
-    python -m repro.experiments fig3 --records 8192
+    python -m repro.experiments fig3 --records 8192 --jobs 4
     python -m repro.experiments all --records 16384 --write-md
     millipede-exp fig7 --no-cache
 """
@@ -11,6 +11,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -38,6 +39,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="records per benchmark (default: each workload's default size)",
     )
     p.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per experiment batch (default 1 = serial; "
+        "0 = one per CPU); results are bit-identical for any N",
+    )
+    p.add_argument(
         "--no-cache",
         action="store_true",
         help="re-simulate even if a cached result exists",
@@ -59,18 +69,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
     cache = None if args.no_cache else default_cache()
     if args.clear_cache and cache is not None:
         n = cache.clear()
         print(f"cleared {n} cached results")
 
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     names = list(EXPERIMENTS) if args.which == "all" else [args.which]
     results = []
     for name in names:
         t0 = time.time()
         res = EXPERIMENTS[name].run_experiment(
-            DEFAULT_CONFIG, n_records=args.records, cache=cache
+            DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs
         )
         results.append(res)
         print(res.text())

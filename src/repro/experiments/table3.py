@@ -39,6 +39,7 @@ def run_experiment(
     config: SystemConfig = DEFAULT_CONFIG,
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     rows = [[name, paper, get(config)] for name, paper, get in _ROWS]
     return ExperimentResult(

@@ -14,8 +14,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
-from repro.experiments.common import BENCHES, ExperimentResult, cached_run
+from repro.experiments.common import BENCHES, ExperimentResult, batch_run
 from repro.sim.cache import ResultCache
+from repro.sim.spec import RunSpec
 
 #: the paper's Table IV
 PAPER = {
@@ -34,11 +35,18 @@ def run_experiment(
     config: SystemConfig = DEFAULT_CONFIG,
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
+    specs = {
+        (a, wl): RunSpec(a, wl, config=config, n_records=n_records)
+        for wl in BENCHES
+        for a in ("ssmc", "millipede-rm")
+    }
+    results = batch_run(list(specs.values()), cache=cache, workers=workers)
     rows = []
     for wl in BENCHES:
-        ssmc = cached_run("ssmc", wl, config, n_records, cache=cache)
-        rm = cached_run("millipede-rm", wl, config, n_records, cache=cache)
+        ssmc = results[specs["ssmc", wl]]
+        rm = results[specs["millipede-rm", wl]]
         p = PAPER[wl]
         clock_mhz = rm.collected.get("rate_match_mean_hz", config.core.clock_hz) / 1e6
         rows.append([

@@ -1,6 +1,23 @@
-"""Simulation driver: build, run, validate, and summarize one experiment."""
+"""Simulation driver: build, run, validate, and summarize experiments.
 
-from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
+:mod:`repro.sim.spec` defines the frozen :class:`RunSpec` value,
+:mod:`repro.sim.driver` executes one spec, and :mod:`repro.sim.campaign`
+fans batches of specs out over worker processes with dedup and caching.
+"""
+
 from repro.sim.cache import ResultCache
+from repro.sim.campaign import BatchProgress, cross, run_batch
+from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
+from repro.sim.spec import RunSpec
 
-__all__ = ["ARCHITECTURES", "RunResult", "run", "run_many", "ResultCache"]
+__all__ = [
+    "ARCHITECTURES",
+    "BatchProgress",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "cross",
+    "run",
+    "run_batch",
+    "run_many",
+]

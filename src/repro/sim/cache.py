@@ -8,7 +8,6 @@ experiment harness and the benchmark suite never repeat identical runs.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 from pathlib import Path
 from typing import Optional
@@ -16,12 +15,12 @@ from typing import Optional
 from repro.config import SystemConfig
 from repro.energy.model import EnergyBreakdown
 from repro.sim.driver import RunResult
+from repro.sim.spec import RunSpec
 
 
 def config_fingerprint(cfg: SystemConfig) -> str:
     """Stable short hash of every config field."""
-    blob = json.dumps(dataclasses.asdict(cfg), sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+    return cfg.fingerprint()
 
 
 class ResultCache:
@@ -63,6 +62,17 @@ class ResultCache:
         }
         path.write_text(json.dumps(payload))
         return path
+
+    # ------------------------------------------------------------------
+    # RunSpec-keyed interface (same on-disk scheme as get/put, so entries
+    # written by either interface are shared)
+    # ------------------------------------------------------------------
+    def get_spec(self, spec: RunSpec) -> Optional[RunResult]:
+        return self.get(spec.arch, spec.workload, spec.n_records, spec.seed,
+                        spec.config)
+
+    def put_spec(self, spec: RunSpec, result: RunResult) -> Path:
+        return self.put(result, spec.n_records, spec.seed, spec.config)
 
     def clear(self) -> int:
         n = 0

@@ -1,0 +1,171 @@
+"""Campaign runner: deduplicated, cached, multiprocess batches of RunSpecs.
+
+Every figure/table sweep is a cross product of independent simulations,
+each a pure function of its :class:`RunSpec`.  :func:`run_batch` exploits
+that:
+
+* **dedup** - identical specs (by content hash) are simulated once,
+* **cache** - the parent process consults/populates a
+  :class:`~repro.sim.cache.ResultCache` before and after dispatch, so
+  workers never touch the cache directory (no concurrent-write races),
+* **fan-out** - cache misses are distributed over a ``multiprocessing``
+  pool; each worker keeps a per-process :class:`BuiltWorkload` memo keyed
+  by :meth:`RunSpec.build_key`, so the dataset/kernel for one
+  (workload, threads, barriers, traversal) group is built once per worker
+  (the same reuse ``run_many`` performs in-process),
+* **progress** - an optional callback receives a :class:`BatchProgress`
+  event as each result lands (cache hits first, then live results in
+  completion order).
+
+Simulations are deterministic, so ``run_batch(specs, workers=N)`` returns
+bit-identical results for any ``N`` (only the ``host_seconds`` wall-clock
+field varies).
+
+>>> from repro.sim.campaign import cross, run_batch
+>>> specs = cross(["ssmc", "millipede"], ["count", "kmeans"], n_records=2048)
+>>> results = run_batch(specs, workers=4)          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.cache import ResultCache
+from repro.sim.driver import RunResult, _execute
+from repro.sim.spec import RunSpec
+from repro.workloads.base import BuiltWorkload
+from repro.workloads.registry import get_workload
+
+#: builds kept per process before the memo resets (bounds memory when a
+#: campaign sweeps many distinct datasets)
+_MEMO_LIMIT = 16
+
+#: per-worker-process BuiltWorkload memo (see _run_with_memo)
+_WORKER_MEMO: dict[tuple, BuiltWorkload] = {}
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """One per-spec completion event streamed to ``run_batch(progress=...)``."""
+
+    spec: RunSpec
+    result: RunResult
+    cached: bool  #: served from the ResultCache without simulating
+    done: int  #: completed unique specs so far (including this one)
+    total: int  #: unique specs in the batch
+
+    @property
+    def host_seconds(self) -> float:
+        """Host wall-clock the simulation took (0-ish for cache hits)."""
+        return self.result.host_seconds
+
+    def __str__(self) -> str:
+        tag = "cached" if self.cached else f"{self.host_seconds:.2f}s"
+        return f"[{self.done}/{self.total}] {self.spec} ({tag})"
+
+
+def cross(
+    arches: Sequence[str],
+    workloads: Sequence[str],
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    seed: int = 0,
+    validate: bool = True,
+) -> list[RunSpec]:
+    """Specs for the full arch x workload cross product, workload-major
+    (matches the figures' iteration order)."""
+    return [
+        RunSpec(a, wl, config=config, n_records=n_records, seed=seed,
+                validate=validate)
+        for wl in workloads
+        for a in arches
+    ]
+
+
+def _run_with_memo(spec: RunSpec, memo: dict[tuple, BuiltWorkload]) -> RunResult:
+    """Execute one spec, reusing/building its BuiltWorkload via ``memo``."""
+    wl = get_workload(spec.workload)
+    key = spec.build_key()
+    built = memo.get(key)
+    if built is None:
+        cfg = spec.effective_config
+        built = wl.build(
+            spec.n_threads,
+            n_records=spec.n_records,
+            block_records=cfg.dram.row_words,
+            seed=spec.seed,
+            record_barrier=spec.needs_barriers,
+            traversal=spec.traversal,
+        )
+        if len(memo) >= _MEMO_LIMIT:
+            memo.clear()
+        memo[key] = built
+    return _execute(spec, wl, built)
+
+
+def _pool_run(item: tuple[str, RunSpec]) -> tuple[str, RunResult]:
+    """Top-level worker entry (must be picklable); cache-oblivious."""
+    spec_hash, spec = item
+    return spec_hash, _run_with_memo(spec, _WORKER_MEMO)
+
+
+def run_batch(
+    specs: Iterable[RunSpec],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[BatchProgress], None]] = None,
+) -> list[RunResult]:
+    """Run a batch of specs, returning results aligned with ``specs``.
+
+    ``workers > 1`` fans cache misses out over a process pool; ``workers
+    <= 1`` runs serially in-process.  Duplicate specs are simulated once
+    and share one result object.  The cache (if given) is consulted and
+    populated only from the calling process.
+    """
+    specs = list(specs)
+    for spec in specs:
+        if not isinstance(spec, RunSpec):
+            raise TypeError(f"run_batch takes RunSpecs, got {type(spec).__name__}")
+        get_workload(spec.workload)  # fail fast on unknown workloads
+
+    # dedup by content hash, preserving first-seen order
+    unique: dict[str, RunSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.content_hash(), spec)
+
+    total = len(unique)
+    done = 0
+    results: dict[str, RunResult] = {}
+
+    def _finish(spec_hash: str, result: RunResult, cached: bool) -> None:
+        nonlocal done
+        results[spec_hash] = result
+        done += 1
+        if not cached and cache is not None:
+            spec = unique[spec_hash]
+            cache.put_spec(spec, result)
+        if progress is not None:
+            progress(BatchProgress(unique[spec_hash], result, cached, done, total))
+
+    pending: list[tuple[str, RunSpec]] = []
+    for spec_hash, spec in unique.items():
+        hit = cache.get_spec(spec) if cache is not None else None
+        if hit is not None:
+            _finish(spec_hash, hit, cached=True)
+        else:
+            pending.append((spec_hash, spec))
+
+    if pending:
+        if workers > 1:
+            with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+                for spec_hash, result in pool.imap_unordered(_pool_run, pending):
+                    _finish(spec_hash, result, cached=False)
+        else:
+            memo: dict[tuple, BuiltWorkload] = {}
+            for spec_hash, spec in pending:
+                _finish(spec_hash, _run_with_memo(spec, memo), cached=False)
+
+    return [results[spec.content_hash()] for spec in specs]

@@ -5,6 +5,21 @@ architecture on a fresh event engine, executes to completion, validates
 the simulated reduction against the golden NumPy result, and returns a
 :class:`RunResult` with timing, counters, and the energy breakdown.
 
+Entry points
+------------
+==================================  ===================================
+call                                use case
+==================================  ===================================
+``run(RunSpec(...))``               one run from a frozen, serializable
+                                    spec (the canonical form)
+``run(arch, workload, ...)``        legacy positional form; builds the
+                                    ``RunSpec`` for you
+``run_many(arches, workload)``      one workload across architectures,
+                                    sharing the built dataset/kernel
+``campaign.run_batch(specs, ...)``  deduplicated, cached, multiprocess
+                                    fan-out over arbitrary spec lists
+==================================  ===================================
+
 Architecture keys
 -----------------
 ===================  =====================================================
@@ -38,8 +53,9 @@ from repro.dram.dram import GlobalMemory
 from repro.energy.model import EnergyBreakdown, compute_energy
 from repro.engine.events import Engine
 from repro.engine.stats import Stats
+from repro.sim.spec import RunSpec
 from repro.workloads.base import BuiltWorkload, Workload
-from repro.workloads.registry import get_workload
+from repro.workloads.registry import WORKLOADS, get_workload
 
 
 def _millipede_cfg(cfg: SystemConfig, **kw) -> SystemConfig:
@@ -152,38 +168,62 @@ class RunResult:
 
 
 def run(
-    arch: str,
-    workload: Union[str, Workload],
+    arch: Union[str, RunSpec],
+    workload: Union[str, Workload, None] = None,
     config: SystemConfig = DEFAULT_CONFIG,
     n_records: Optional[int] = None,
     seed: int = 0,
     validate: bool = True,
     built: Optional[BuiltWorkload] = None,
 ) -> RunResult:
-    """Simulate ``workload`` on ``arch`` and validate the result.
+    """Simulate one :class:`RunSpec` (or the legacy positional form) and
+    validate the result.
 
-    Pass ``built`` to reuse a prepared workload (e.g. across the
-    architectures of one figure) - it must have been built with the
-    matching thread count.
+    ``run(RunSpec(...))`` is the canonical entry point;
+    ``run("millipede", "count", ...)`` builds the spec for you and also
+    accepts an unregistered :class:`Workload` *object*.  Pass ``built``
+    to reuse a prepared workload (e.g. across the architectures of one
+    figure) - it must have been built with the matching thread count.
     """
-    if arch not in ARCHITECTURES:
-        raise KeyError(f"unknown architecture {arch!r}; available: {', '.join(ARCHITECTURES)}")
-    proc_cls, transform, needs_barriers = ARCHITECTURES[arch]
-    cfg = transform(config)
-
-    wl = get_workload(workload) if isinstance(workload, str) else workload
-    if arch == "multicore":
-        n_threads = cfg.multicore.n_cores * cfg.multicore.n_threads
+    if isinstance(arch, RunSpec):
+        if workload is not None:
+            raise TypeError(
+                "run(RunSpec) takes no separate workload argument; "
+                "put the workload name in the spec"
+            )
+        spec = arch
+        wl = get_workload(spec.workload)
     else:
-        n_threads = cfg.core.n_cores * cfg.core.n_threads
+        wl = get_workload(workload) if isinstance(workload, str) else workload
+        if wl is None:
+            raise TypeError("run(arch, workload): workload is required")
+        spec = RunSpec(
+            arch=arch,
+            workload=wl.name,
+            config=config,
+            n_records=n_records,
+            seed=seed,
+            validate=validate,
+        )
+    return _execute(spec, wl, built)
 
-    traversal = TRAVERSAL.get(arch, "chunked")
+
+def _execute(
+    spec: RunSpec, wl: Workload, built: Optional[BuiltWorkload] = None
+) -> RunResult:
+    """Run one spec with an already-resolved workload object."""
+    proc_cls, transform, needs_barriers = ARCHITECTURES[spec.arch]
+    cfg = transform(spec.config)
+    arch, validate = spec.arch, spec.validate
+    n_threads = spec.n_threads
+    traversal = spec.traversal
+
     if built is None:
         built = wl.build(
             n_threads,
-            n_records=n_records,
+            n_records=spec.n_records,
             block_records=cfg.dram.row_words,
-            seed=seed,
+            seed=spec.seed,
             record_barrier=needs_barriers,
             traversal=traversal,
         )
@@ -253,10 +293,25 @@ def run_many(
     validate: bool = True,
 ) -> dict[str, RunResult]:
     """Run one workload across several architectures, reusing the built
-    dataset/kernel wherever thread counts agree."""
+    dataset/kernel wherever thread counts agree.
+
+    Registered workloads route through :func:`repro.sim.campaign.run_batch`
+    (serially), so they share its dedup/build-reuse machinery; unregistered
+    :class:`Workload` objects keep the in-process shared-build loop.
+    """
     wl = get_workload(workload) if isinstance(workload, str) else workload
+    if wl.name in WORKLOADS:
+        from repro.sim.campaign import run_batch
+
+        specs = [
+            RunSpec(a, wl.name, config=config, n_records=n_records,
+                    seed=seed, validate=validate)
+            for a in arches
+        ]
+        return dict(zip(arches, run_batch(specs, workers=1)))
+
     results: dict[str, RunResult] = {}
-    shared: dict[tuple[int, bool], BuiltWorkload] = {}
+    shared: dict[tuple[int, bool, str], BuiltWorkload] = {}
     for arch in arches:
         _, transform, needs_barriers = ARCHITECTURES[arch]
         cfg = transform(config)

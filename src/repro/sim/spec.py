@@ -1,0 +1,127 @@
+"""RunSpec: the frozen, serializable description of one simulation.
+
+A :class:`RunSpec` is a pure value — (architecture, workload, config,
+record count, seed, validate flag) — that fully determines a simulation's
+outcome.  Because it is frozen, hashable, picklable, and carries a stable
+content hash, it is the unit the campaign runner (:mod:`repro.sim.campaign`)
+deduplicates, ships to worker processes, and keys the result cache on.
+
+>>> spec = RunSpec("millipede", "count", n_records=2048)
+>>> RunSpec.from_dict(spec.to_dict()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace as dc_replace
+from typing import Optional
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one simulation run.
+
+    ``workload`` is a registry *name* (see :mod:`repro.workloads.registry`)
+    so specs stay serializable; unregistered :class:`Workload` objects can
+    still be run through the legacy ``run(arch, workload_obj)`` path.
+    """
+
+    arch: str
+    workload: str
+    config: SystemConfig = DEFAULT_CONFIG
+    n_records: Optional[int] = None
+    seed: int = 0
+    validate: bool = True
+
+    def __post_init__(self):
+        # lazy import: driver imports this module at load time
+        from repro.sim.driver import ARCHITECTURES
+
+        if self.arch not in ARCHITECTURES:
+            raise KeyError(
+                f"unknown architecture {self.arch!r}; "
+                f"available: {', '.join(ARCHITECTURES)}"
+            )
+        if self.n_records is not None and self.n_records <= 0:
+            raise ValueError(f"n_records must be positive, got {self.n_records}")
+
+    # ------------------------------------------------------------------
+    # derived build parameters (shared by driver and campaign)
+    # ------------------------------------------------------------------
+    @property
+    def effective_config(self) -> SystemConfig:
+        """The config after the architecture's transform (flow-control /
+        rate-match / barrier flags)."""
+        from repro.sim.driver import ARCHITECTURES
+
+        _, transform, _ = ARCHITECTURES[self.arch]
+        return transform(self.config)
+
+    @property
+    def n_threads(self) -> int:
+        cfg = self.effective_config
+        sub = cfg.multicore if self.arch == "multicore" else cfg.core
+        return sub.n_cores * sub.n_threads
+
+    @property
+    def traversal(self) -> str:
+        from repro.sim.driver import TRAVERSAL
+
+        return TRAVERSAL.get(self.arch, "chunked")
+
+    @property
+    def needs_barriers(self) -> bool:
+        from repro.sim.driver import ARCHITECTURES
+
+        return ARCHITECTURES[self.arch][2]
+
+    def build_key(self) -> tuple:
+        """Specs with equal build keys can share one :class:`BuiltWorkload`
+        (same data, same kernel, same thread ABI)."""
+        return (
+            self.workload,
+            self.n_records,
+            self.seed,
+            self.n_threads,
+            self.needs_barriers,
+            self.traversal,
+            self.effective_config.dram.row_words,
+        )
+
+    # ------------------------------------------------------------------
+    # identity / serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-portable dict; inverse of :meth:`from_dict`."""
+        return {
+            "arch": self.arch,
+            "workload": self.workload,
+            "config": self.config.as_canonical_dict(),
+            "n_records": self.n_records,
+            "seed": self.seed,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        data = dict(data)
+        cfg = data.pop("config", None)
+        config = SystemConfig.from_dict(cfg) if cfg is not None else DEFAULT_CONFIG
+        return cls(config=config, **data)
+
+    def content_hash(self) -> str:
+        """Stable hash of every field (including the full config); equal
+        specs always hash equal across processes and sessions."""
+        blob = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def replace(self, **kwargs) -> "RunSpec":
+        return dc_replace(self, **kwargs)
+
+    def __str__(self) -> str:
+        n = self.n_records if self.n_records is not None else "default"
+        return f"{self.arch}/{self.workload}[n={n},seed={self.seed}]"

@@ -28,24 +28,28 @@ The package layers:
 * :mod:`repro.mapreduce` - host / cluster MapReduce layers
 * :mod:`repro.energy`    - component energy model
 * :mod:`repro.sim`       - one-call run driver
+* :mod:`repro.sanitize`  - opt-in runtime invariant checking
 * :mod:`repro.experiments` - regenerates every table and figure
 """
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.sanitize import InvariantViolation, SimSanitizer
 from repro.sim.campaign import BatchProgress, run_batch
 from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
 from repro.sim.spec import RunSpec
 from repro.workloads.registry import get_workload, workload_names
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SystemConfig",
     "ARCHITECTURES",
     "BatchProgress",
+    "InvariantViolation",
     "RunResult",
     "RunSpec",
+    "SimSanitizer",
     "run",
     "run_batch",
     "run_many",

@@ -152,6 +152,10 @@ class GpgpuSM:
         self._rr = 0
         self.finish_ps: Optional[int] = None
         self.on_finished: Optional[Callable[[], None]] = None
+        #: optional SIMT observer (:mod:`repro.sanitize`); receives
+        #: ``on_warp_instr(warp)`` before each warp instruction and
+        #: ``on_warp_done(warp)`` at halt.  Must not mutate state.
+        self.observer = None
 
         # accounting
         self.warp_instructions = 0      # I-cache fetches (amortized)
@@ -268,6 +272,8 @@ class GpgpuSM:
     # ------------------------------------------------------------------
     def _exec_warp(self, warp: _Warp, t: int) -> int:
         """Execute one warp instruction; returns the active lane count."""
+        if self.observer is not None:
+            self.observer.on_warp_instr(warp)
         top = warp.stack[-1]
         reconv, pc, mask = top
         ins = self.program.instrs[pc]
@@ -319,6 +325,8 @@ class GpgpuSM:
                 lanes[l].instr_count += 1
                 lanes[l].halted = True
             warp.done = True
+            if self.observer is not None:
+                self.observer.on_warp_done(warp)
             return n_active
 
         if op == _LDL or op == _STL:

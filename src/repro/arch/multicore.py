@@ -48,6 +48,8 @@ class OffchipController(MemoryController):
 
     def _complete(self, req: DramRequest) -> None:
         self.stats.inc("completed")
+        if self.observer is not None:
+            self.observer.on_complete(req)
         if req.callback is not None:
             self.engine.schedule(self.extra_latency_ps, req.callback, req)
         self._kick()

@@ -29,6 +29,10 @@ class BarrierCoordinator:
         self.stats = stats.scoped("barrier")
         self._waiting: list[tuple["MimdCore", int]] = []
         self._expected = 0
+        #: optional rendezvous observer (:mod:`repro.sanitize`); receives
+        #: ``on_arrive`` / ``on_release`` for generation counting.  Must
+        #: not mutate state.
+        self.observer = None
 
     def set_expected(self, n_threads: int) -> None:
         self._expected = n_threads
@@ -39,8 +43,12 @@ class BarrierCoordinator:
             raise RuntimeError("BarrierCoordinator.set_expected was not called")
         self._waiting.append((core, slot))
         self.stats.inc("arrivals")
+        if self.observer is not None:
+            self.observer.on_arrive(core, slot, len(self._waiting), self._expected)
         if len(self._waiting) == self._expected:
             self.stats.inc("releases")
+            if self.observer is not None:
+                self.observer.on_release(self._expected)
             waiting, self._waiting = self._waiting, []
             for c, s in waiting:
                 c.barrier_release(s)

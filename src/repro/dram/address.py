@@ -43,6 +43,22 @@ class AddressMapper:
             col=word_addr % self.row_words,
         )
 
+    def word_addr(self, loc: DramLocation) -> int:
+        """Inverse of :meth:`locate`: the word address of ``loc``.
+
+        >>> from repro.config import DramConfig
+        >>> m = AddressMapper(DramConfig())
+        >>> m.word_addr(m.locate(123457))
+        123457
+        """
+        if not 0 <= loc.bank < self.n_banks:
+            raise ValueError(f"bank {loc.bank} outside [0, {self.n_banks})")
+        if not 0 <= loc.col < self.row_words:
+            raise ValueError(f"column {loc.col} outside [0, {self.row_words})")
+        if loc.row < 0:
+            raise ValueError(f"negative row {loc.row}")
+        return (loc.row * self.n_banks + loc.bank) * self.row_words + loc.col
+
     def global_row_index(self, word_addr: int) -> int:
         """Sequential row number (bank-agnostic), used by row prefetchers."""
         return word_addr // self.row_words

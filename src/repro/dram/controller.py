@@ -83,6 +83,11 @@ class MemoryController:
         self.queue: list[DramRequest] = []
         self.bus_free_ps = 0
         self._scheduled_kicks: set[int] = set()
+        #: optional scheduling observer (:mod:`repro.sanitize`); receives
+        #: ``on_bank_assign`` / ``on_bus_grant`` / ``on_complete`` events
+        #: with enough pre-mutation state to re-derive timing legality.
+        #: Must not mutate state.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # public interface
@@ -144,6 +149,7 @@ class MemoryController:
         it).  The activation overlaps other banks' data transfers."""
         now = self.engine.now
         t = self.timing
+        obs = self.observer
         for bank_id, bank in enumerate(self.banks):
             if bank.pending is not None:
                 continue
@@ -155,6 +161,8 @@ class MemoryController:
                 req = best_miss
             if req is None:
                 continue
+            window_idx = self.queue.index(req) if obs is not None else -1
+            prev_open, prev_act = bank.open_row, bank.act_ps
             self.queue.remove(req)
             bank.pending = req
             self.stats.inc("row_misses")
@@ -165,6 +173,9 @@ class MemoryController:
             bank.open_row = req.row
             bank.act_ps = act_start
             req.data_ready_ps = act_start + t.t_rcd_ps + t.t_cas_ps
+            if obs is not None:
+                obs.on_bank_assign(bank_id, bank, req, window_idx,
+                                   prev_open, prev_act, now)
 
     def _grant_bus(self) -> Optional[int]:
         """Start the best transfer if the bus is free; returns the transfer
@@ -207,8 +218,12 @@ class MemoryController:
             self.stats.inc("row_accesses")
         data_start = max(now, req.data_ready_ps)
         end = data_start + self.timing.transfer_ps(req.n_words * WORD_BYTES)
+        prev_bus_free = self.bus_free_ps
         self.bus_free_ps = end
         bank.busy_until_ps = end
+        if self.observer is not None:
+            self.observer.on_bus_grant(req, bank, data_start, end,
+                                       prev_bus_free, best_bound)
         self.stats.inc("words_transferred", req.n_words)
         self.stats.inc("bus_busy_ps", end - data_start)
         self.engine.schedule_at(end, self._complete, req)
@@ -216,6 +231,8 @@ class MemoryController:
 
     def _complete(self, req: DramRequest) -> None:
         self.stats.inc("completed")
+        if self.observer is not None:
+            self.observer.on_complete(req)
         if req.callback is not None:
             req.callback(req)
         self._kick()

@@ -32,6 +32,10 @@ class Clock:
         self.name = name
         self._freq_hz = 0.0
         self._period_ps = 0
+        #: optional frequency-change observer (``on_set_frequency(clock,
+        #: old_hz, new_hz)``); used by :mod:`repro.sanitize` to check DFS
+        #: range/step/debounce legality.  Must not mutate state.
+        self.observer = None
         self.set_frequency(freq_hz)
         #: (frequency, cycles) samples accumulated via :meth:`charge_cycles`
         self.cycle_log: dict[float, int] = {}
@@ -46,6 +50,8 @@ class Clock:
         return self._period_ps
 
     def set_frequency(self, freq_hz: float) -> None:
+        if self.observer is not None:
+            self.observer.on_set_frequency(self, self._freq_hz, float(freq_hz))
         self._freq_hz = float(freq_hz)
         self._period_ps = period_ps(freq_hz)
 

@@ -64,6 +64,10 @@ class Engine:
         self._heap: list[Event] = []
         self._seq: int = 0
         self._live: int = 0  # number of non-cancelled events in the heap
+        #: optional delivery observer (``on_deliver(ev)`` before each
+        #: callback fires); used by :mod:`repro.sanitize` for monotonicity
+        #: checking and the livelock watchdog.  Must not mutate state.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -117,6 +121,8 @@ class Engine:
                 continue
             self._live -= 1
             self.now = ev.time
+            if self.observer is not None:
+                self.observer.on_deliver(ev)
             ev.fn(*ev.args)
             return True
         return False
@@ -140,6 +146,8 @@ class Engine:
             heapq.heappop(heap)
             self._live -= 1
             self.now = ev.time
+            if self.observer is not None:
+                self.observer.on_deliver(ev)
             ev.fn(*ev.args)
             delivered += 1
         return delivered

@@ -8,6 +8,7 @@ paper's tables (e.g. Table IV's "SSMC row miss rate" is
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Iterator
 
@@ -43,9 +44,21 @@ class Stats:
         return name in self._counters
 
     def ratio(self, num: str, den: str) -> float:
-        """``num / den`` counter ratio, 0.0 when the denominator is 0."""
+        """``num / den`` counter ratio; 0.0 when the denominator is zero,
+        missing, or non-finite (a NaN counter must not poison reports).
+
+        >>> s = Stats()
+        >>> s.ratio("missing", "also_missing")
+        0.0
+        >>> s.set("bad", float("nan"))
+        >>> s.ratio("bad", "bad")
+        0.0
+        """
         d = self._counters.get(den, 0.0)
-        return self._counters.get(num, 0.0) / d if d else 0.0
+        n = self._counters.get(num, 0.0)
+        if not d or not math.isfinite(d) or not math.isfinite(n):
+            return 0.0
+        return n / d
 
     def scoped(self, prefix: str) -> "ScopedStats":
         """A view that prepends ``prefix.`` to every counter name."""
@@ -61,6 +74,29 @@ class Stats:
 
     def as_dict(self) -> dict[str, float]:
         return dict(self._counters)
+
+    @classmethod
+    def from_dict(cls, counters: dict[str, float]) -> "Stats":
+        """Rebuild a registry from :meth:`as_dict` output (e.g. the
+        ``stats`` field of a deserialized :class:`RunResult`)."""
+        s = cls()
+        for k, v in counters.items():
+            s._counters[k] = v
+        return s
+
+    def sorted_dump(self) -> str:
+        """Canonical text form: one ``name value`` line per counter, in
+        sorted name order, with ``repr`` floats.  Equal registries always
+        dump byte-identically regardless of counter insertion order, so
+        this is what the determinism regression compares.
+
+        >>> a, b = Stats(), Stats()
+        >>> a.inc("x"); a.inc("y", 2.5)
+        >>> b.inc("y", 2.5); b.inc("x")
+        >>> a.sorted_dump() == b.sorted_dump()
+        True
+        """
+        return "\n".join(f"{k} {v!r}" for k, v in sorted(self._counters.items()))
 
     def merge(self, other: "Stats") -> None:
         """Add every counter of ``other`` into this registry."""

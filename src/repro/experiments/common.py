@@ -31,9 +31,11 @@ def cached_run(
     n_records: Optional[int] = None,
     seed: int = 0,
     cache: Optional[ResultCache] = None,
+    sanitize: bool = False,
 ) -> RunResult:
     """`run` with optional disk caching keyed on the full configuration."""
-    spec = RunSpec(arch, workload, config=config, n_records=n_records, seed=seed)
+    spec = RunSpec(arch, workload, config=config, n_records=n_records, seed=seed,
+                   sanitize=sanitize)
     return run_batch([spec], workers=1, cache=cache)[0]
 
 
@@ -55,9 +57,11 @@ def sweep(
     cache: Optional[ResultCache] = None,
     seed: int = 0,
     workers: int = 1,
+    sanitize: bool = False,
 ) -> dict[str, dict[str, RunResult]]:
     """results[workload][arch] for the full cross product."""
-    specs = cross(arches, benches, config=config, n_records=n_records, seed=seed)
+    specs = cross(arches, benches, config=config, n_records=n_records, seed=seed,
+                  sanitize=sanitize)
     results = run_batch(specs, workers=workers, cache=cache)
     out: dict[str, dict[str, RunResult]] = {wl: {} for wl in benches}
     for spec, result in zip(specs, results):

@@ -33,8 +33,10 @@ def run_experiment(
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     workers: int = 1,
+    sanitize: bool = False,
 ) -> ExperimentResult:
-    results = sweep(FIG3_ARCHES, BENCHES, config, n_records, cache, workers=workers)
+    results = sweep(FIG3_ARCHES, BENCHES, config, n_records, cache,
+                    workers=workers, sanitize=sanitize)
 
     rows = []
     for wl in BENCHES:

@@ -32,9 +32,11 @@ def run_experiment(
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     workers: int = 1,
+    sanitize: bool = False,
 ) -> ExperimentResult:
     specs = {
-        (a, wl): RunSpec(a, wl, config=config, n_records=n_records)
+        (a, wl): RunSpec(a, wl, config=config, n_records=n_records,
+                         sanitize=sanitize)
         for wl in BENCHES
         for a in ("millipede-rm", "multicore")
     }

@@ -24,11 +24,12 @@ def run_experiment(
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     workers: int = 1,
+    sanitize: bool = False,
 ) -> ExperimentResult:
     # one batch across both system sizes (specs carry their own config)
     specs = {
         (size, a, wl): RunSpec(a, wl, config=config.scaled_system_size(size),
-                               n_records=n_records)
+                               n_records=n_records, sanitize=sanitize)
         for size in SIZES
         for wl in BENCHES
         for a in ARCHES

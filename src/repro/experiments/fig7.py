@@ -30,6 +30,7 @@ def run_experiment(
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     workers: int = 1,
+    sanitize: bool = False,
 ) -> ExperimentResult:
     specs = {}
     for entries in ENTRY_COUNTS:
@@ -39,7 +40,8 @@ def run_experiment(
         )
         for wl in FIG7_BENCHES:
             specs[entries, wl] = RunSpec("millipede", wl, config=cfg,
-                                         n_records=n_records)
+                                         n_records=n_records,
+                                         sanitize=sanitize)
     batch = batch_run(list(specs.values()), cache=cache, workers=workers)
     tput: dict[str, dict[int, float]] = {wl: {} for wl in FIG7_BENCHES}
     for (entries, wl), spec in specs.items():

@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         "0 = one per CPU); results are bit-identical for any N",
     )
     p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every simulation under repro.sanitize runtime invariant "
+        "checking (same results, slower; violations abort with a snapshot)",
+    )
+    p.add_argument(
         "--no-cache",
         action="store_true",
         help="re-simulate even if a cached result exists",
@@ -84,7 +90,8 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         t0 = time.time()
         res = EXPERIMENTS[name].run_experiment(
-            DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs
+            DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs,
+            sanitize=args.sanitize,
         )
         results.append(res)
         print(res.text())

@@ -40,6 +40,7 @@ def run_experiment(
     n_records: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     workers: int = 1,
+    sanitize: bool = False,
 ) -> ExperimentResult:
     rows = [[name, paper, get(config)] for name, paper, get in _ROWS]
     return ExperimentResult(

@@ -122,6 +122,11 @@ class PrefetchBuffer:
         self.on_empty_wait: Optional[Callable[[], None]] = None
         self.on_full_defer: Optional[Callable[[], None]] = None
 
+        #: optional mechanism observer (:mod:`repro.sanitize`); receives
+        #: ``on_demand`` / ``on_consume`` / ``on_trigger`` / ``on_evict`` /
+        #: ``on_alloc`` / ``on_fill`` events.  Must not mutate state.
+        self.observer = None
+
     # ------------------------------------------------------------------
     # setup
     # ------------------------------------------------------------------
@@ -147,6 +152,8 @@ class PrefetchBuffer:
         ``on_ready(ready_ps, result_code)`` fires when the data is
         available (possibly immediately).
         """
+        if self.observer is not None:
+            self.observer.on_demand(corelet_id, addr)
         row = addr // self.row_words
         entry = self._by_row.get(row)
         if entry is not None:
@@ -228,6 +235,9 @@ class PrefetchBuffer:
             )
         if c == self.slab_words:
             entry.df_count += 1
+        if self.observer is not None:
+            self.observer.on_consume(corelet_id, entry)
+        if c == self.slab_words:
             # head saturation may unblock waiting leading corelets even if
             # no further demand fetch retries the (still-set) PFT trigger
             if (entry.df_count >= self.n_corelets and self._alloc_waiters
@@ -240,6 +250,8 @@ class PrefetchBuffer:
         done = self._advance_allocation(entry.row + self.prefetch_ahead)
         if done:
             entry.pft = False  # else: deferred, a later demand retries
+        if self.observer is not None:
+            self.observer.on_trigger(entry, done)
 
     def _advance_allocation(self, target_row: int) -> bool:
         """Allocate rows up to ``target_row`` (clamped); returns False if
@@ -263,6 +275,8 @@ class PrefetchBuffer:
 
     def _evict_head(self, premature: bool) -> None:
         head = self.entries.popleft()
+        if self.observer is not None:
+            self.observer.on_evict(head, premature)
         del self._by_row[head.row]
         if premature:
             self.stats.inc("premature_evictions")
@@ -284,6 +298,8 @@ class PrefetchBuffer:
             entry.df_count = sum(1 for c in pre if c >= self.slab_words)
         self.entries.append(entry)
         self._by_row[row] = entry
+        if self.observer is not None:
+            self.observer.on_alloc(entry)
         self.stats.inc("rows_prefetched")
         base = row * self.row_words
         self.mc.access(base, self.row_words, callback=self._fill, tag=entry)
@@ -300,6 +316,8 @@ class PrefetchBuffer:
     def _fill(self, req: DramRequest) -> None:
         entry = req.tag
         entry.fill_done_ps = self.engine.now
+        if self.observer is not None:
+            self.observer.on_fill(entry)
         waiters, entry.fill_waiters = entry.fill_waiters, []
         for corelet_id, cb in waiters:
             self._consume(corelet_id, entry)

@@ -74,12 +74,13 @@ def cross(
     n_records: Optional[int] = None,
     seed: int = 0,
     validate: bool = True,
+    sanitize: bool = False,
 ) -> list[RunSpec]:
     """Specs for the full arch x workload cross product, workload-major
     (matches the figures' iteration order)."""
     return [
         RunSpec(a, wl, config=config, n_records=n_records, seed=seed,
-                validate=validate)
+                validate=validate, sanitize=sanitize)
         for wl in workloads
         for a in arches
     ]

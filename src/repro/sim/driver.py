@@ -175,6 +175,8 @@ def run(
     seed: int = 0,
     validate: bool = True,
     built: Optional[BuiltWorkload] = None,
+    sanitize: bool = False,
+    probe: Optional[Callable] = None,
 ) -> RunResult:
     """Simulate one :class:`RunSpec` (or the legacy positional form) and
     validate the result.
@@ -184,6 +186,13 @@ def run(
     accepts an unregistered :class:`Workload` *object*.  Pass ``built``
     to reuse a prepared workload (e.g. across the architectures of one
     figure) - it must have been built with the matching thread count.
+
+    ``sanitize=True`` attaches :class:`repro.sanitize.SimSanitizer`
+    runtime invariant checking; violations raise
+    :class:`repro.sanitize.InvariantViolation`.  ``probe(proc, engine,
+    sanitizer)`` is called after construction and before the first event
+    (tests use it to install fault injectors); it keeps ``run`` usable
+    from tests without exposing internals.
     """
     if isinstance(arch, RunSpec):
         if workload is not None:
@@ -204,12 +213,14 @@ def run(
             n_records=n_records,
             seed=seed,
             validate=validate,
+            sanitize=sanitize,
         )
-    return _execute(spec, wl, built)
+    return _execute(spec, wl, built, probe=probe)
 
 
 def _execute(
-    spec: RunSpec, wl: Workload, built: Optional[BuiltWorkload] = None
+    spec: RunSpec, wl: Workload, built: Optional[BuiltWorkload] = None,
+    probe: Optional[Callable] = None,
 ) -> RunResult:
     """Run one spec with an already-resolved workload object."""
     proc_cls, transform, needs_barriers = ARCHITECTURES[spec.arch]
@@ -235,6 +246,12 @@ def _execute(
 
     engine = Engine()
     stats = Stats()
+    sanitizer = None
+    if spec.sanitize:
+        from repro.sanitize import SimSanitizer
+
+        sanitizer = SimSanitizer()
+        sanitizer.attach_engine(engine)
     gm = GlobalMemory.from_array(built.memory_image)
     # layout metadata enables oracle stream prefetch (baselines) and the
     # safe-wait record-span hint (prefetch buffer)
@@ -252,11 +269,19 @@ def _execute(
     if built.initial_state is not None:
         proc.load_initial_state(built.initial_state)
     proc.set_thread_args(built.thread_args)
+    if sanitizer is not None:
+        sanitizer.attach_processor(proc)
+    if probe is not None:
+        probe(proc, engine, sanitizer)
 
     t0 = time.perf_counter()
     proc.start()
     engine.run()
     host_seconds = time.perf_counter() - t0
+    if sanitizer is not None:
+        # end-of-run invariants first: a stuck barrier generation is a
+        # better diagnosis than the generic never-finished error below
+        sanitizer.finalize(proc)
     if not proc.done:
         raise RuntimeError(
             f"{arch}/{wl.name}: event queue drained but the processor never "

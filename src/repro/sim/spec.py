@@ -1,8 +1,8 @@
 """RunSpec: the frozen, serializable description of one simulation.
 
 A :class:`RunSpec` is a pure value — (architecture, workload, config,
-record count, seed, validate flag) — that fully determines a simulation's
-outcome.  Because it is frozen, hashable, picklable, and carries a stable
+record count, seed, validate flag, sanitize flag) — that fully determines
+a simulation's outcome.  Because it is frozen, hashable, picklable, and carries a stable
 content hash, it is the unit the campaign runner (:mod:`repro.sim.campaign`)
 deduplicates, ships to worker processes, and keys the result cache on.
 
@@ -36,6 +36,11 @@ class RunSpec:
     n_records: Optional[int] = None
     seed: int = 0
     validate: bool = True
+    #: attach :class:`repro.sanitize.SimSanitizer` runtime invariant
+    #: checking.  Part of the spec identity (sanitized and unsanitized
+    #: results are cached separately) even though a clean sanitized run
+    #: produces identical statistics and metrics.
+    sanitize: bool = False
 
     def __post_init__(self):
         # lazy import: driver imports this module at load time
@@ -104,6 +109,7 @@ class RunSpec:
             "n_records": self.n_records,
             "seed": self.seed,
             "validate": self.validate,
+            "sanitize": self.sanitize,
         }
 
     @classmethod

@@ -27,7 +27,8 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
-    result = run(args.arch, args.workload, n_records=args.records)
+    result = run(args.arch, args.workload, n_records=args.records,
+                 sanitize=args.sanitize)
     print(result.summary())
     print()
     print(attribute_bottleneck(result).render())
@@ -96,6 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     i.add_argument("workload")
     i.add_argument("--records", type=int, default=4096)
     i.add_argument("--stats", action="store_true", help="dump raw counters")
+    i.add_argument("--sanitize", action="store_true",
+                   help="attach runtime invariant checking (repro.sanitize)")
     i.set_defaults(fn=cmd_inspect)
 
     l = sub.add_parser("layout", help="dump a workload's address layout")

@@ -1,0 +1,46 @@
+"""Determinism regression: the same RunSpec must produce byte-identical
+statistics whether simulated serially or through the multiprocess
+campaign runner, with or without the sanitizer attached."""
+
+from __future__ import annotations
+
+from repro.engine.stats import Stats
+from repro.sim.campaign import run_batch
+from repro.sim.spec import RunSpec
+
+N = 512
+
+SPECS = [
+    RunSpec("gpgpu", "count", n_records=N),
+    RunSpec("ssmc", "variance", n_records=N),
+    RunSpec("millipede", "count", n_records=N),
+    # a sanitized spec rides through worker-process pickling too
+    RunSpec("millipede", "count", n_records=N, sanitize=True),
+]
+
+
+def dumps(results) -> list[str]:
+    return [Stats.from_dict(r.stats).sorted_dump() for r in results]
+
+
+class TestDeterminism:
+    def test_serial_vs_multiprocess_byte_identical(self):
+        serial = run_batch(SPECS, workers=1)
+        multi = run_batch(SPECS, workers=2)
+        for spec, a, b, da, db in zip(SPECS, serial, multi,
+                                      dumps(serial), dumps(multi)):
+            assert da == db, f"stats dump diverged for {spec}"
+            assert a.finish_ps == b.finish_ps, spec
+            assert a.collected == b.collected, spec
+
+    def test_sanitized_stats_equal_unsanitized(self):
+        results = run_batch(SPECS, workers=1)
+        plain, sanitized = results[2], results[3]
+        assert (Stats.from_dict(plain.stats).sorted_dump()
+                == Stats.from_dict(sanitized.stats).sorted_dump())
+
+    def test_repeated_serial_runs_identical(self):
+        a = run_batch([SPECS[2]], workers=1)[0]
+        b = run_batch([SPECS[2]], workers=1)[0]
+        assert dumps([a]) == dumps([b])
+        assert a.finish_ps == b.finish_ps

@@ -209,3 +209,40 @@ class TestController:
         mc.access(32, 32)
         eng.run()
         assert mc.row_miss_rate() == pytest.approx(0.5)
+
+
+class TestAddressMapperBijectivity:
+    """locate() and word_addr() are mutually inverse over random
+    geometries (the sanitizer and the prefetchers both rely on it)."""
+
+    geometries = st.tuples(
+        st.sampled_from([64, 128, 256, 512, 1024, 2048, 4096, 8192]),  # row bytes
+        st.integers(min_value=1, max_value=16),                        # banks
+    )
+
+    @given(geometry=geometries, addr=st.integers(0, 10**9))
+    def test_word_addr_inverts_locate(self, geometry, addr):
+        row_bytes, banks = geometry
+        m = AddressMapper(DramConfig(row_bytes=row_bytes, banks_per_channel=banks))
+        assert m.word_addr(m.locate(addr)) == addr
+
+    @given(geometry=geometries, bank=st.integers(0, 15),
+           row=st.integers(0, 10**6), col=st.integers(0, 2047))
+    def test_locate_inverts_word_addr(self, geometry, bank, row, col):
+        from repro.dram.address import DramLocation
+
+        row_bytes, banks = geometry
+        m = AddressMapper(DramConfig(row_bytes=row_bytes, banks_per_channel=banks))
+        loc = DramLocation(bank=bank % banks, row=row, col=col % m.row_words)
+        assert m.locate(m.word_addr(loc)) == loc
+
+    def test_word_addr_rejects_out_of_range(self):
+        m = AddressMapper(DramConfig())
+        from repro.dram.address import DramLocation
+
+        with pytest.raises(ValueError):
+            m.word_addr(DramLocation(bank=m.n_banks, row=0, col=0))
+        with pytest.raises(ValueError):
+            m.word_addr(DramLocation(bank=0, row=0, col=m.row_words))
+        with pytest.raises(ValueError):
+            m.word_addr(DramLocation(bank=0, row=-1, col=0))

@@ -170,3 +170,42 @@ class TestStats:
         b.inc("only_b", 5)
         a.merge(b)
         assert a["k"] == 3 and a["only_b"] == 5
+
+
+class TestStatsHardening:
+    def test_ratio_zero_and_missing_denominator(self):
+        s = Stats()
+        assert s.ratio("nope", "also_nope") == 0.0
+        s.inc("num", 5)
+        assert s.ratio("num", "zero_den") == 0.0
+
+    def test_ratio_nonfinite_guard(self):
+        s = Stats()
+        s.set("nan", float("nan"))
+        s.set("inf", float("inf"))
+        s.inc("one")
+        assert s.ratio("nan", "one") == 0.0
+        assert s.ratio("one", "nan") == 0.0
+        assert s.ratio("one", "inf") == 0.0
+        assert s.ratio("inf", "one") == 0.0
+
+    def test_from_dict_roundtrip(self):
+        s = Stats()
+        s.inc("a.x", 2.5)
+        s.inc("b.y")
+        assert Stats.from_dict(s.as_dict()).as_dict() == s.as_dict()
+
+    def test_sorted_dump_order_independent(self):
+        a, b = Stats(), Stats()
+        a.inc("z", 1.25)
+        a.inc("a", 3)
+        b.inc("a", 3)
+        b.inc("z", 1.25)
+        assert a.sorted_dump() == b.sorted_dump()
+        assert a.sorted_dump().splitlines()[0].startswith("a ")
+
+    def test_sorted_dump_distinguishes_values(self):
+        a, b = Stats(), Stats()
+        a.inc("k", 1.0)
+        b.inc("k", 1.0 + 1e-12)
+        assert a.sorted_dump() != b.sorted_dump()

@@ -140,3 +140,24 @@ class TestDifferential:
         """
         regs = interpret(src, {1: a, 2: b})
         assert regs[3] == regs[4] == int(a < b)
+
+
+# ----------------------------------------------------------------------
+# end-to-end differential sweep under the sanitizer: every architecture
+# runs every workload with runtime invariant checking attached, and every
+# simulated reduction must match the golden NumPy model (validate=True
+# raises inside run_batch on any mismatch; the sanitizer raises
+# InvariantViolation on any broken mechanism invariant)
+# ----------------------------------------------------------------------
+class TestSanitizedDifferentialSweep:
+    def test_every_arch_every_workload_sanitized(self):
+        from repro import ARCHITECTURES
+        from repro.sim.campaign import cross, run_batch
+        from repro.workloads.registry import workload_names
+
+        specs = cross(list(ARCHITECTURES), workload_names(),
+                      n_records=256, validate=True, sanitize=True)
+        results = run_batch(specs, workers=1)
+        assert len(results) == len(specs)
+        assert all(r.validated for r in results)
+        assert all(r.finish_ps > 0 for r in results)

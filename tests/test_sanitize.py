@@ -1,0 +1,254 @@
+"""Sanitizer tests: clean runs stay clean and identical, and every
+invariant class fires under its paired fault injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ARCHITECTURES, run
+from repro.config import SystemConfig
+from repro.dram.controller import MemoryController
+from repro.engine.events import Engine
+from repro.engine.stats import Stats
+from repro.sanitize import InvariantViolation, SimSanitizer
+from repro.sanitize.inject import FaultInjector
+from repro.sim.spec import RunSpec
+
+N = 256
+
+
+def same_result(a, b) -> bool:
+    """Full result equality: timing, counters, and golden reductions."""
+    return (
+        a.finish_ps == b.finish_ps
+        and a.stats == b.stats
+        and a.collected.keys() == b.collected.keys()
+        and sorted(a.reduced) == sorted(b.reduced)
+        and all(np.array_equal(a.reduced[k], b.reduced[k]) for k in a.reduced)
+    )
+
+
+# ----------------------------------------------------------------------
+# clean runs: zero violations, bit-identical results
+# ----------------------------------------------------------------------
+class TestCleanRuns:
+    @pytest.mark.parametrize("arch", list(ARCHITECTURES))
+    def test_sanitized_equals_unsanitized(self, arch):
+        a = run(arch, "variance", n_records=N, sanitize=True)
+        b = run(arch, "variance", n_records=N, sanitize=False)
+        assert same_result(a, b)
+
+    def test_clean_run_exercises_invariants(self):
+        captured = {}
+
+        def probe(proc, engine, sanitizer):
+            captured["san"] = sanitizer
+
+        run("millipede", "count", n_records=N, sanitize=True, probe=probe)
+        checks = captured["san"].report()["checks"]
+        for inv in ("time-monotonicity", "dram-timing", "dram-window",
+                    "df-consistency", "pft-retrigger", "pb-capacity"):
+            assert checks.get(inv, 0) > 0, f"{inv} never evaluated"
+
+    def test_simt_and_barrier_and_dfs_paths_covered(self):
+        caps = {}
+
+        def grab(name):
+            def probe(proc, engine, sanitizer):
+                caps[name] = sanitizer
+            return probe
+
+        run("gpgpu", "count", n_records=N, sanitize=True, probe=grab("simt"))
+        run("millipede-bar", "count", n_records=N, sanitize=True,
+            probe=grab("bar"))
+        run("millipede-rm", "count", n_records=N, sanitize=True,
+            probe=grab("rm"))
+        assert caps["simt"].report()["checks"].get("simt-dropped-pop", 0) > 0
+        assert caps["bar"].report()["checks"].get(
+            "barrier-incomplete-generation", 0) > 0
+        # the rm clock checker is attached even if no adjustment happened
+        assert "clock.millipede" in caps["rm"].report()["components"]
+
+    def test_spec_roundtrip_carries_sanitize(self):
+        spec = RunSpec("millipede", "count", n_records=N, sanitize=True)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        # sanitize is part of identity: cached results are kept separate
+        assert spec.content_hash() != spec.replace(sanitize=False).content_hash()
+        # old serialized specs (no sanitize key) still deserialize
+        legacy = spec.to_dict()
+        del legacy["sanitize"]
+        assert RunSpec.from_dict(legacy).sanitize is False
+
+
+# ----------------------------------------------------------------------
+# fault injection: every invariant class fires
+# ----------------------------------------------------------------------
+def expect_violation(arch, workload, invariants, arm, n_records=N):
+    """Run with a fault armed by ``arm(inj, proc, engine)``; the paired
+    invariant must fire and the fault must actually have been injected."""
+    inj = FaultInjector()
+
+    def probe(proc, engine, sanitizer):
+        arm(inj, proc, engine)
+
+    with pytest.raises(InvariantViolation) as exc:
+        run(arch, workload, n_records=n_records, sanitize=True, probe=probe)
+    assert exc.value.invariant in invariants
+    assert inj.injected, "fault never armed/injected"
+    return exc.value
+
+
+class TestFaultInjection:
+    def test_skip_df_caught(self):
+        v = expect_violation(
+            "millipede", "count", {"df-consistency", "df-head-evict"},
+            lambda inj, proc, eng: inj.skip_df(proc.prefetch_buffer))
+        assert v.component.startswith("mem.")
+
+    def test_reordered_dram_command_caught(self):
+        expect_violation(
+            "millipede", "count", {"dram-timing"},
+            lambda inj, proc, eng: inj.reorder_dram_command(proc.mc))
+
+    def test_dropped_reconvergence_pop_caught(self):
+        expect_violation(
+            "gpgpu", "count", {"simt-dropped-pop"},
+            lambda inj, proc, eng: inj.drop_reconv_pop(proc))
+
+    def test_stuck_clock_caught_with_rate_matching(self):
+        v = expect_violation(
+            "millipede-rm", "count", {"dfs-range"},
+            lambda inj, proc, eng: inj.stuck_clock(eng, proc.clock))
+        assert "MHz" in str(v)
+
+    def test_clock_change_without_controller_caught(self):
+        expect_violation(
+            "millipede", "count", {"dfs-unexpected-change"},
+            lambda inj, proc, eng: inj.stuck_clock(eng, proc.clock,
+                                                   freq_hz=650e6))
+
+    def test_missed_barrier_caught(self):
+        v = expect_violation(
+            "millipede-bar", "count", {"barrier-incomplete-generation"},
+            lambda inj, proc, eng: inj.drop_barrier_arrival(proc.barrier))
+        assert "deadlock" in str(v)
+
+    def test_pft_retrigger_caught(self):
+        expect_violation(
+            "millipede", "count", {"pft-retrigger"},
+            lambda inj, proc, eng: inj.rearm_pft(proc.prefetch_buffer))
+
+    def test_violation_carries_snapshot(self):
+        v = expect_violation(
+            "millipede", "count", {"df-consistency", "df-head-evict"},
+            lambda inj, proc, eng: inj.skip_df(proc.prefetch_buffer))
+        assert v.time_ps > 0
+        assert v.snapshot["time_ps"] == v.time_ps
+        assert "recent_events" in v.snapshot
+        assert v.snapshot["checks"].get("time-monotonicity", 0) > 0
+        assert "occupancy" in v.snapshot[v.component]
+
+
+# ----------------------------------------------------------------------
+# experiment-level acceptance: sanitized figures are the same figures
+# ----------------------------------------------------------------------
+class TestExperimentEquality:
+    def test_fig3_rows_unchanged_under_sanitizer(self):
+        from repro.experiments import fig3
+
+        a = fig3.run_experiment(n_records=N, cache=None, sanitize=True)
+        b = fig3.run_experiment(n_records=N, cache=None, sanitize=False)
+        assert a.rows == b.rows
+
+    def test_table4_rows_unchanged_under_sanitizer(self):
+        from repro.experiments import table4
+
+        a = table4.run_experiment(n_records=N, cache=None, sanitize=True)
+        b = table4.run_experiment(n_records=N, cache=None, sanitize=False)
+        assert a.rows == b.rows
+
+
+# ----------------------------------------------------------------------
+# engine-level checks (micro harnesses)
+# ----------------------------------------------------------------------
+class TestEngineChecks:
+    def test_monotonicity_violation(self):
+        eng = Engine()
+        san = SimSanitizer()
+        san.attach_engine(eng)
+        eng.schedule(10, lambda: None)
+        eng.schedule(20, lambda: None)
+        FaultInjector().corrupt_event_time(eng)
+        with pytest.raises(InvariantViolation) as exc:
+            eng.run()
+        assert exc.value.invariant == "time-monotonicity"
+
+    def test_livelock_watchdog(self):
+        eng = Engine()
+        san = SimSanitizer(watchdog_events=500)
+        san.attach_engine(eng)
+        FaultInjector().spin_livelock(eng)
+        with pytest.raises(InvariantViolation) as exc:
+            eng.run()
+        assert exc.value.invariant == "livelock"
+        assert exc.value.snapshot["recent_events"]  # diagnostic trace
+
+    def test_watchdog_tolerates_bursts_below_horizon(self):
+        eng = Engine()
+        san = SimSanitizer(watchdog_events=500)
+        san.attach_engine(eng)
+        for _ in range(400):
+            eng.schedule(100, lambda: None)
+        eng.run()  # 400 same-time events < horizon: fine
+
+    def test_double_attach_rejected(self):
+        eng = Engine()
+        SimSanitizer().attach_engine(eng)
+        with pytest.raises(RuntimeError):
+            SimSanitizer().attach_engine(eng)
+
+
+# ----------------------------------------------------------------------
+# DRAM micro harness: deterministic timing-invariant coverage
+# ----------------------------------------------------------------------
+class TestDramChecker:
+    def make(self):
+        eng = Engine()
+        san = SimSanitizer()
+        san.attach_engine(eng)
+        mc = MemoryController(eng, SystemConfig().dram, Stats())
+        san.attach_controller(mc)
+        return eng, mc, san
+
+    def test_clean_traffic_passes(self):
+        eng, mc, san = self.make()
+        done = []
+        for i in range(16):
+            mc.access(i * 64, 16, callback=lambda r: done.append(r))
+        eng.run()
+        san.finalize()
+        assert len(done) == 16
+        assert san.checks["dram-timing"] > 0
+
+    def test_early_cas_caught(self):
+        eng, mc, san = self.make()
+        inj = FaultInjector()
+        mc.access(0, 16)
+        mc.access(4096, 16)
+        inj.reorder_dram_command(mc)
+        with pytest.raises(InvariantViolation) as exc:
+            eng.run()
+        assert exc.value.invariant == "dram-timing"
+        assert inj.injected
+
+    def test_unfinished_transfer_caught_at_finalize(self):
+        eng, mc, san = self.make()
+        mc.access(0, 16)
+        # run only until the grant, not the completion
+        while eng.step():
+            if san._checkers[1].in_flight:
+                break
+        with pytest.raises(InvariantViolation) as exc:
+            san.finalize()
+        assert exc.value.invariant == "dram-phantom-completion"

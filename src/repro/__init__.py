@@ -29,6 +29,7 @@ The package layers:
 * :mod:`repro.energy`    - component energy model
 * :mod:`repro.sim`       - one-call run driver
 * :mod:`repro.sanitize`  - opt-in runtime invariant checking
+* :mod:`repro.trace`     - opt-in timeline tracing + host profiling
 * :mod:`repro.experiments` - regenerates every table and figure
 """
 
@@ -37,9 +38,10 @@ from repro.sanitize import InvariantViolation, SimSanitizer
 from repro.sim.campaign import BatchProgress, run_batch
 from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
 from repro.sim.spec import RunSpec
+from repro.trace import SimTracer, TraceResult
 from repro.workloads.registry import get_workload, workload_names
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -50,6 +52,8 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "SimSanitizer",
+    "SimTracer",
+    "TraceResult",
     "run",
     "run_batch",
     "run_many",

@@ -54,13 +54,17 @@ class RateMatchController:
         now = self.engine.now
         if now - self._last_adjust_ps < self.cfg.rate_match_interval_ps:
             return
-        self._last_adjust_ps = now
         f = self.clock.freq_hz * (1.0 + direction * self.cfg.rate_match_step)
         f = min(self.cfg.rate_match_max_hz, max(self.cfg.rate_match_min_hz, f))
-        if f != self.clock.freq_hz:
-            self.clock.set_frequency(f)
-            self.stats.inc("adjustments")
-            self.history.append((now, f))
+        if f == self.clock.freq_hz:
+            # clamped to a no-op at rate_match_min/max_hz: leave the
+            # debounce window open so an immediately following
+            # opposite-direction signal is not starved
+            return
+        self._last_adjust_ps = now
+        self.clock.set_frequency(f)
+        self.stats.inc("adjustments")
+        self.history.append((now, f))
 
     # ------------------------------------------------------------------
     @property

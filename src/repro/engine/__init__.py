@@ -10,6 +10,16 @@ time between synchronization points.
 
 from repro.engine.events import Engine, Event
 from repro.engine.clock import Clock, PS_PER_SECOND
+from repro.engine.observer import ObserverChain, attach_observer, detach_observer
 from repro.engine.stats import Stats
 
-__all__ = ["Engine", "Event", "Clock", "Stats", "PS_PER_SECOND"]
+__all__ = [
+    "Engine",
+    "Event",
+    "Clock",
+    "ObserverChain",
+    "Stats",
+    "PS_PER_SECOND",
+    "attach_observer",
+    "detach_observer",
+]

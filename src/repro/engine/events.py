@@ -53,6 +53,7 @@ class Engine:
     >>> _ = eng.schedule(100, out.append, "b")
     >>> _ = eng.schedule(50, out.append, "a")
     >>> eng.run()
+    2
     >>> out
     ['a', 'b']
     >>> eng.now
@@ -64,9 +65,12 @@ class Engine:
         self._heap: list[Event] = []
         self._seq: int = 0
         self._live: int = 0  # number of non-cancelled events in the heap
-        #: optional delivery observer (``on_deliver(ev)`` before each
-        #: callback fires); used by :mod:`repro.sanitize` for monotonicity
-        #: checking and the livelock watchdog.  Must not mutate state.
+        #: optional delivery observer: ``on_deliver(ev)`` fires before each
+        #: callback and ``on_return(ev)`` (if defined) after it returns.
+        #: Used by :mod:`repro.sanitize` for monotonicity checking / the
+        #: livelock watchdog and by :mod:`repro.trace` for host profiling;
+        #: attach via :func:`repro.engine.observer.attach_observer` so
+        #: several observers compose.  Must not mutate state.
         self.observer = None
 
     # ------------------------------------------------------------------
@@ -112,6 +116,18 @@ class Engine:
             heapq.heappop(heap)
         return heap[0].time if heap else None
 
+    def _deliver(self, ev: Event) -> None:
+        """Fire one event's callback, bracketed by the observer hooks."""
+        obs = self.observer
+        if obs is None:
+            ev.fn(*ev.args)
+            return
+        obs.on_deliver(ev)
+        ev.fn(*ev.args)
+        hook = getattr(obs, "on_return", None)
+        if hook is not None:
+            hook(ev)
+
     def step(self) -> bool:
         """Deliver the next live event.  Returns ``False`` when idle."""
         heap = self._heap
@@ -121,16 +137,21 @@ class Engine:
                 continue
             self._live -= 1
             self.now = ev.time
-            if self.observer is not None:
-                self.observer.on_deliver(ev)
-            ev.fn(*ev.args)
+            self._deliver(ev)
             return True
         return False
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the heap drains, ``until`` ps is reached, or
         ``max_events`` events have been delivered.  Returns the number of
-        events delivered."""
+        events delivered.
+
+        With ``until`` given, the engine always finishes at ``max(now,
+        until)`` - including when the heap drains early or was empty to
+        begin with - so idle time is accounted consistently with the
+        next-event-beyond-``until`` case.  Hitting ``max_events`` does not
+        advance to ``until``: undelivered events remain in the window.
+        """
         delivered = 0
         heap = self._heap
         while heap:
@@ -139,15 +160,22 @@ class Engine:
                 heapq.heappop(heap)
                 continue
             if until is not None and ev.time > until:
-                self.now = until
                 break
             if max_events is not None and delivered >= max_events:
-                break
+                return delivered
             heapq.heappop(heap)
             self._live -= 1
             self.now = ev.time
-            if self.observer is not None:
-                self.observer.on_deliver(ev)
-            ev.fn(*ev.args)
+            obs = self.observer
+            if obs is None:
+                ev.fn(*ev.args)
+            else:
+                obs.on_deliver(ev)
+                ev.fn(*ev.args)
+                hook = getattr(obs, "on_return", None)
+                if hook is not None:
+                    hook(ev)
             delivered += 1
+        if until is not None and self.now < until:
+            self.now = until
         return delivered

@@ -1,0 +1,137 @@
+"""Composable observer fan-out for the simulator's instrumentation points.
+
+Every instrumented component (event engine, DFS clock, DRAM controller,
+prefetch buffer, SIMT front end, barrier coordinator) exposes a single
+``observer`` attribute that receives hook calls at the component's
+mechanism points.  The original protocol was single-slot: whoever attached
+first owned the slot, so the sanitizer (:mod:`repro.sanitize`) and any
+other observability layer (:mod:`repro.trace`) could not watch the same
+run.  :class:`ObserverChain` removes that restriction by multiplexing each
+hook call to any number of children.
+
+Rules of the protocol:
+
+* Hooks are *read-only*: no child may mutate simulation state.  This is
+  what guarantees an observed run is bit-identical to an unobserved one.
+* A child only receives the hooks it defines.  Observers written against a
+  subset of a component's hook vocabulary (e.g. an engine observer that
+  wants ``on_deliver`` but not ``on_return``) compose freely with children
+  that implement more.
+* Children are invoked in attachment order.
+
+Use :func:`attach_observer` rather than assigning ``component.observer``
+directly; it composes with whatever is already attached.
+
+>>> class A:
+...     def on_ping(self, x): print("A", x)
+>>> class B:
+...     def on_ping(self, x): print("B", x)
+...     def on_pong(self): print("B pong")
+>>> chain = ObserverChain(A(), B())
+>>> chain.on_ping(1)
+A 1
+B 1
+>>> chain.on_pong()          # only B implements it
+B pong
+>>> chain.on_absent()        # nobody implements it: a cached no-op
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _noop(*args: Any, **kwargs: Any) -> None:
+    return None
+
+
+class ObserverChain:
+    """Fan-out observer: forwards each hook to every child that defines it.
+
+    Dispatchers are built lazily per hook name and cached on the instance,
+    so steady-state dispatch costs one attribute lookup plus the child
+    calls; with a single interested child the cached dispatcher *is* that
+    child's bound method (zero fan-out overhead), and a hook no child
+    implements costs one cached no-op call.
+    """
+
+    def __init__(self, *observers) -> None:
+        self._observers: list = [obs for obs in observers if obs is not None]
+
+    # ------------------------------------------------------------------
+    @property
+    def observers(self) -> tuple:
+        """The attached children, in dispatch order."""
+        return tuple(self._observers)
+
+    def add(self, observer) -> None:
+        if observer is None:
+            raise TypeError("cannot attach None as an observer")
+        self._observers.append(observer)
+        self._invalidate()
+
+    def remove(self, observer) -> None:
+        self._observers.remove(observer)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop cached dispatchers (the child set changed)."""
+        for name in [k for k in self.__dict__ if not k.startswith("_")]:
+            del self.__dict__[name]
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        # only hook names reach here (cached dispatchers live in __dict__);
+        # refuse private/dunder lookups so pickling & introspection behave
+        if name.startswith("_"):
+            raise AttributeError(name)
+        targets = []
+        for obs in self._observers:
+            hook = getattr(obs, name, None)
+            if callable(hook):
+                targets.append(hook)
+        if not targets:
+            fn = _noop
+        elif len(targets) == 1:
+            fn = targets[0]
+        else:
+            bound = tuple(targets)
+
+            def fn(*args: Any, **kwargs: Any) -> None:
+                for t in bound:
+                    t(*args, **kwargs)
+
+        self.__dict__[name] = fn
+        return fn
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = ", ".join(type(o).__name__ for o in self._observers)
+        return f"<ObserverChain [{kinds}]>"
+
+
+def attach_observer(target, observer) -> ObserverChain:
+    """Attach ``observer`` to ``target.observer``, composing with whatever
+    is already attached (a bare observer is promoted into a chain).
+    Returns the chain so callers can add siblings directly."""
+    if observer is None:
+        raise TypeError("cannot attach None as an observer")
+    current = target.observer
+    if isinstance(current, ObserverChain):
+        current.add(observer)
+        return current
+    chain = ObserverChain(current, observer)
+    target.observer = chain
+    return chain
+
+
+def detach_observer(target, observer) -> None:
+    """Remove ``observer`` from ``target.observer``; clears the slot when
+    it was the last (or only, possibly un-chained) observer."""
+    current = target.observer
+    if current is observer:
+        target.observer = None
+        return
+    if isinstance(current, ObserverChain):
+        current.remove(observer)
+        if not current.observers:
+            target.observer = None

@@ -27,12 +27,26 @@ class Stats:
 
     def __init__(self) -> None:
         self._counters: defaultdict[str, float] = defaultdict(float)
+        #: names written via :meth:`set` - point-in-time gauges (final
+        #: frequency, finish timestamp) that must not be summed on merge
+        self._gauges: set[str] = set()
 
     def inc(self, name: str, amount: float = 1) -> None:
         self._counters[name] += amount
 
     def set(self, name: str, value: float) -> None:
+        """Write ``name`` as a *gauge*: a point-in-time value rather than
+        an accumulating count.  Gauges keep last-write semantics under
+        :meth:`merge` instead of being summed."""
         self._counters[name] = value
+        self._gauges.add(name)
+
+    def is_gauge(self, name: str) -> bool:
+        return name in self._gauges
+
+    def gauges(self) -> set[str]:
+        """Names with gauge (last-write) merge semantics."""
+        return set(self._gauges)
 
     def get(self, name: str, default: float = 0.0) -> float:
         return self._counters.get(name, default)
@@ -76,12 +90,16 @@ class Stats:
         return dict(self._counters)
 
     @classmethod
-    def from_dict(cls, counters: dict[str, float]) -> "Stats":
+    def from_dict(cls, counters: dict[str, float],
+                  gauges: "set[str] | tuple[str, ...]" = ()) -> "Stats":
         """Rebuild a registry from :meth:`as_dict` output (e.g. the
-        ``stats`` field of a deserialized :class:`RunResult`)."""
+        ``stats`` field of a deserialized :class:`RunResult`).  Pass the
+        original registry's :meth:`gauges` to preserve last-write merge
+        semantics across the round trip."""
         s = cls()
         for k, v in counters.items():
             s._counters[k] = v
+        s._gauges.update(gauges)
         return s
 
     def sorted_dump(self) -> str:
@@ -99,9 +117,24 @@ class Stats:
         return "\n".join(f"{k} {v!r}" for k, v in sorted(self._counters.items()))
 
     def merge(self, other: "Stats") -> None:
-        """Add every counter of ``other`` into this registry."""
+        """Fold ``other`` into this registry: counters add, gauges take
+        the incoming value (last write wins).  Summing gauge-style values
+        written via :meth:`set` (e.g. final/mean DFS frequencies) would
+        double-count them on aggregation.
+
+        >>> a, b = Stats(), Stats()
+        >>> a.inc("events", 3); b.inc("events", 2)
+        >>> a.set("final_hz", 650e6); b.set("final_hz", 700e6)
+        >>> a.merge(b)
+        >>> a["events"], a["final_hz"]
+        (5.0, 700000000.0)
+        """
         for k, v in other._counters.items():
-            self._counters[k] += v
+            if k in other._gauges or k in self._gauges:
+                self._counters[k] = v
+                self._gauges.add(k)
+            else:
+                self._counters[k] += v
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Stats {len(self._counters)} counters>"

@@ -24,6 +24,15 @@ FIG3_ARCHES = ["gpgpu", "vws", "ssmc", "millipede-nofc", "vws-row", "millipede"]
 FIG4_ARCHES = ["gpgpu", "vws", "vws-row", "ssmc", "millipede", "millipede-rm"]
 
 
+def _trace_progress(trace_dir: Optional["Path | str"]):
+    """A TraceWriter progress callback for ``run_batch`` (or None)."""
+    if trace_dir is None:
+        return None
+    from repro.trace import TraceWriter
+
+    return TraceWriter(trace_dir)
+
+
 def cached_run(
     arch: str,
     workload: str,
@@ -32,21 +41,34 @@ def cached_run(
     seed: int = 0,
     cache: Optional[ResultCache] = None,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_dir: Optional["Path | str"] = None,
 ) -> RunResult:
     """`run` with optional disk caching keyed on the full configuration."""
     spec = RunSpec(arch, workload, config=config, n_records=n_records, seed=seed,
-                   sanitize=sanitize)
-    return run_batch([spec], workers=1, cache=cache)[0]
+                   sanitize=sanitize, trace=trace)
+    writer = _trace_progress(trace_dir if trace else None)
+    out = run_batch([spec], workers=1, cache=cache, progress=writer)[0]
+    if writer is not None:
+        writer.finish()
+    return out
 
 
 def batch_run(
     specs: Sequence[RunSpec],
     cache: Optional[ResultCache] = None,
     workers: int = 1,
+    trace_dir: Optional["Path | str"] = None,
 ) -> dict[RunSpec, RunResult]:
     """`run_batch` returning a spec -> result mapping (experiment modules
-    index results by (arch, workload) via their spec objects)."""
-    return dict(zip(specs, run_batch(specs, workers=workers, cache=cache)))
+    index results by (arch, workload) via their spec objects).  With
+    ``trace_dir`` set, every traced result's artifacts plus a campaign
+    ``index.json`` are written there as results land."""
+    writer = _trace_progress(trace_dir)
+    results = run_batch(specs, workers=workers, cache=cache, progress=writer)
+    if writer is not None:
+        writer.finish()
+    return dict(zip(specs, results))
 
 
 def sweep(
@@ -58,11 +80,16 @@ def sweep(
     seed: int = 0,
     workers: int = 1,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_dir: Optional["Path | str"] = None,
 ) -> dict[str, dict[str, RunResult]]:
     """results[workload][arch] for the full cross product."""
     specs = cross(arches, benches, config=config, n_records=n_records, seed=seed,
-                  sanitize=sanitize)
-    results = run_batch(specs, workers=workers, cache=cache)
+                  sanitize=sanitize, trace=trace)
+    writer = _trace_progress(trace_dir if trace else None)
+    results = run_batch(specs, workers=workers, cache=cache, progress=writer)
+    if writer is not None:
+        writer.finish()
     out: dict[str, dict[str, RunResult]] = {wl: {} for wl in benches}
     for spec, result in zip(specs, results):
         out[spec.workload][spec.arch] = result

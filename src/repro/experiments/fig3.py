@@ -34,9 +34,12 @@ def run_experiment(
     cache: Optional[ResultCache] = None,
     workers: int = 1,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_dir=None,
 ) -> ExperimentResult:
     results = sweep(FIG3_ARCHES, BENCHES, config, n_records, cache,
-                    workers=workers, sanitize=sanitize)
+                    workers=workers, sanitize=sanitize, trace=trace,
+                    trace_dir=trace_dir)
 
     rows = []
     for wl in BENCHES:

@@ -33,14 +33,17 @@ def run_experiment(
     cache: Optional[ResultCache] = None,
     workers: int = 1,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_dir=None,
 ) -> ExperimentResult:
     specs = {
         (a, wl): RunSpec(a, wl, config=config, n_records=n_records,
-                         sanitize=sanitize)
+                         sanitize=sanitize, trace=trace)
         for wl in BENCHES
         for a in ("millipede-rm", "multicore")
     }
-    results = batch_run(list(specs.values()), cache=cache, workers=workers)
+    results = batch_run(list(specs.values()), cache=cache, workers=workers,
+                        trace_dir=trace_dir if trace else None)
     rows = []
     speedups, energy_gains, ed_gains = [], [], []
     n_proc = config.n_processors

@@ -25,16 +25,20 @@ def run_experiment(
     cache: Optional[ResultCache] = None,
     workers: int = 1,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_dir=None,
 ) -> ExperimentResult:
     # one batch across both system sizes (specs carry their own config)
     specs = {
         (size, a, wl): RunSpec(a, wl, config=config.scaled_system_size(size),
-                               n_records=n_records, sanitize=sanitize)
+                               n_records=n_records, sanitize=sanitize,
+                               trace=trace)
         for size in SIZES
         for wl in BENCHES
         for a in ARCHES
     }
-    batch = batch_run(list(specs.values()), cache=cache, workers=workers)
+    batch = batch_run(list(specs.values()), cache=cache, workers=workers,
+                      trace_dir=trace_dir if trace else None)
     # results[size][arch][wl]
     res: dict[int, dict[str, dict[str, float]]] = {
         size: {a: {} for a in ARCHES} for size in SIZES

@@ -31,6 +31,8 @@ def run_experiment(
     cache: Optional[ResultCache] = None,
     workers: int = 1,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_dir=None,
 ) -> ExperimentResult:
     specs = {}
     for entries in ENTRY_COUNTS:
@@ -41,8 +43,9 @@ def run_experiment(
         for wl in FIG7_BENCHES:
             specs[entries, wl] = RunSpec("millipede", wl, config=cfg,
                                          n_records=n_records,
-                                         sanitize=sanitize)
-    batch = batch_run(list(specs.values()), cache=cache, workers=workers)
+                                         sanitize=sanitize, trace=trace)
+    batch = batch_run(list(specs.values()), cache=cache, workers=workers,
+                      trace_dir=trace_dir if trace else None)
     tput: dict[str, dict[int, float]] = {wl: {} for wl in FIG7_BENCHES}
     for (entries, wl), spec in specs.items():
         tput[wl][entries] = batch[spec].throughput_words_per_s

@@ -54,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
         "checking (same results, slower; violations abort with a snapshot)",
     )
     p.add_argument(
+        "--trace",
+        metavar="DIR",
+        nargs="?",
+        const="traces",
+        default=None,
+        help="attach repro.trace to every simulation and write Chrome "
+        "trace-event JSON + timeline/profile CSVs per run, plus a "
+        "campaign index.json, under DIR (default: traces/); same "
+        "results, slower, and traced runs bypass the result cache",
+    )
+    p.add_argument(
         "--no-cache",
         action="store_true",
         help="re-simulate even if a cached result exists",
@@ -86,16 +97,22 @@ def main(argv: list[str] | None = None) -> int:
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     names = list(EXPERIMENTS) if args.which == "all" else [args.which]
+    trace_dir = Path(args.trace) if args.trace is not None else None
     results = []
     for name in names:
         t0 = time.time()
         res = EXPERIMENTS[name].run_experiment(
             DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs,
             sanitize=args.sanitize,
+            trace=trace_dir is not None,
+            trace_dir=trace_dir / name if trace_dir is not None else None,
         )
         results.append(res)
         print(res.text())
         print(f"[{name} took {time.time() - t0:.1f}s]\n")
+    if trace_dir is not None:
+        print(f"trace artifacts under {trace_dir}/ (load the *.trace.json "
+              "files in chrome://tracing or https://ui.perfetto.dev)")
 
     if args.write_md:
         path = write_markdown(results, Path(args.write_md))

@@ -41,6 +41,8 @@ def run_experiment(
     cache: Optional[ResultCache] = None,
     workers: int = 1,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_dir=None,
 ) -> ExperimentResult:
     rows = [[name, paper, get(config)] for name, paper, get in _ROWS]
     return ExperimentResult(

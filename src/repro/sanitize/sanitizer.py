@@ -1,11 +1,13 @@
 """The sanitizer proper: per-component invariant checkers.
 
 Every checker is an *observer*: it receives the hook calls a component
-makes at its mechanism points (``component.observer = checker``) and keeps
-its own shadow state, so corruption of the component's internal
-bookkeeping is caught by disagreement rather than trusted.  Checkers never
-mutate simulation state, which is what guarantees a sanitized run is
-bit-identical to an unsanitized one.
+makes at its mechanism points (attached via
+:func:`repro.engine.observer.attach_observer`, so it composes with other
+observers such as the :mod:`repro.trace` tracer) and keeps its own shadow
+state, so corruption of the component's internal bookkeeping is caught by
+disagreement rather than trusted.  Checkers never mutate simulation
+state, which is what guarantees a sanitized run is bit-identical to an
+unsanitized one.
 
 Invariant classes (the ``invariant`` field of a violation):
 
@@ -41,6 +43,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro.engine.observer import attach_observer
 from repro.engine.stats import Stats
 
 #: relative tolerance for floating-point frequency comparisons
@@ -121,9 +124,7 @@ class SimSanitizer:
     # attachment
     # ------------------------------------------------------------------
     def _register(self, checker, target) -> None:
-        if target.observer is not None:
-            raise RuntimeError(f"{checker.component}: observer slot already taken")
-        target.observer = checker
+        attach_observer(target, checker)
         self._checkers.append(checker)
 
     def attach_engine(self, engine) -> None:

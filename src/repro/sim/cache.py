@@ -47,13 +47,16 @@ class ResultCache:
             return None
         payload["energy"] = EnergyBreakdown(**payload["energy"])
         payload.pop("reduced", None)
-        return RunResult(reduced={}, **payload)
+        payload.pop("trace", None)
+        return RunResult(reduced={}, trace=None, **payload)
 
     def put(self, result: RunResult, n_records: Optional[int],
             seed: int, cfg: SystemConfig) -> Path:
         path = self._path(result.arch, result.workload, n_records, seed, cfg)
         payload = dataclasses.asdict(result)
         payload.pop("reduced", None)  # numpy arrays are not JSON-portable
+        payload.pop("trace", None)    # trace artifacts are written to disk
+        #                               by repro.trace, not the result cache
         payload["energy"] = {
             "core_dynamic_j": result.energy.core_dynamic_j,
             "idle_j": result.energy.idle_j,

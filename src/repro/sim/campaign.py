@@ -59,7 +59,15 @@ class BatchProgress:
 
     @property
     def host_seconds(self) -> float:
-        """Host wall-clock the simulation took (0-ish for cache hits)."""
+        """Host wall-clock *this batch* spent on the spec: the live
+        simulation's wall-clock, or 0.0 for cache hits (the cached
+        result's own wall-clock is :attr:`sim_host_seconds`)."""
+        return 0.0 if self.cached else self.result.host_seconds
+
+    @property
+    def sim_host_seconds(self) -> float:
+        """Wall-clock of the simulation that produced the result - this
+        batch's, or the original run that populated the cache."""
         return self.result.host_seconds
 
     def __str__(self) -> str:
@@ -75,12 +83,13 @@ def cross(
     seed: int = 0,
     validate: bool = True,
     sanitize: bool = False,
+    trace: bool = False,
 ) -> list[RunSpec]:
     """Specs for the full arch x workload cross product, workload-major
     (matches the figures' iteration order)."""
     return [
         RunSpec(a, wl, config=config, n_records=n_records, seed=seed,
-                validate=validate, sanitize=sanitize)
+                validate=validate, sanitize=sanitize, trace=trace)
         for wl in workloads
         for a in arches
     ]
@@ -153,7 +162,10 @@ def run_batch(
 
     pending: list[tuple[str, RunSpec]] = []
     for spec_hash, spec in unique.items():
-        hit = cache.get_spec(spec) if cache is not None else None
+        # traced specs always simulate: a cached RunResult carries no
+        # trace, and the trace artifact is the point of the run
+        hit = (cache.get_spec(spec)
+               if cache is not None and not spec.trace else None)
         if hit is not None:
             _finish(spec_hash, hit, cached=True)
         else:

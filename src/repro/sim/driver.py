@@ -116,6 +116,9 @@ class RunResult:
     validated: bool
     host_seconds: float
     reduced: dict = dc_field(default_factory=dict)
+    #: :class:`repro.trace.TraceResult` when the spec had ``trace=True``;
+    #: None otherwise (and always None for cache-served results)
+    trace: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property
@@ -176,6 +179,8 @@ def run(
     validate: bool = True,
     built: Optional[BuiltWorkload] = None,
     sanitize: bool = False,
+    trace: bool = False,
+    trace_interval_ps: Optional[int] = None,
     probe: Optional[Callable] = None,
 ) -> RunResult:
     """Simulate one :class:`RunSpec` (or the legacy positional form) and
@@ -189,10 +194,13 @@ def run(
 
     ``sanitize=True`` attaches :class:`repro.sanitize.SimSanitizer`
     runtime invariant checking; violations raise
-    :class:`repro.sanitize.InvariantViolation`.  ``probe(proc, engine,
-    sanitizer)`` is called after construction and before the first event
-    (tests use it to install fault injectors); it keeps ``run`` usable
-    from tests without exposing internals.
+    :class:`repro.sanitize.InvariantViolation`.  ``trace=True`` attaches
+    :class:`repro.trace.SimTracer` timeline sampling + host profiling
+    (both observers compose in one run) and fills the result's ``trace``
+    field; ``trace_interval_ps`` overrides the sampling cadence.
+    ``probe(proc, engine, sanitizer)`` is called after construction and
+    before the first event (tests use it to install fault injectors); it
+    keeps ``run`` usable from tests without exposing internals.
     """
     if isinstance(arch, RunSpec):
         if workload is not None:
@@ -214,13 +222,16 @@ def run(
             seed=seed,
             validate=validate,
             sanitize=sanitize,
+            trace=trace,
         )
-    return _execute(spec, wl, built, probe=probe)
+    return _execute(spec, wl, built, probe=probe,
+                    trace_interval_ps=trace_interval_ps)
 
 
 def _execute(
     spec: RunSpec, wl: Workload, built: Optional[BuiltWorkload] = None,
     probe: Optional[Callable] = None,
+    trace_interval_ps: Optional[int] = None,
 ) -> RunResult:
     """Run one spec with an already-resolved workload object."""
     proc_cls, transform, needs_barriers = ARCHITECTURES[spec.arch]
@@ -252,6 +263,13 @@ def _execute(
 
         sanitizer = SimSanitizer()
         sanitizer.attach_engine(engine)
+    tracer = None
+    if spec.trace:
+        from repro.trace import DEFAULT_INTERVAL_PS, SimTracer
+
+        tracer = SimTracer(interval_ps=trace_interval_ps
+                           or DEFAULT_INTERVAL_PS)
+        tracer.attach_engine(engine)
     gm = GlobalMemory.from_array(built.memory_image)
     # layout metadata enables oracle stream prefetch (baselines) and the
     # safe-wait record-span hint (prefetch buffer)
@@ -271,6 +289,8 @@ def _execute(
     proc.set_thread_args(built.thread_args)
     if sanitizer is not None:
         sanitizer.attach_processor(proc)
+    if tracer is not None:
+        tracer.attach_processor(proc)
     if probe is not None:
         probe(proc, engine, sanitizer)
 
@@ -292,6 +312,16 @@ def _execute(
     if validate:
         reduced = built.validate(proc.thread_states())
 
+    trace_result = None
+    if tracer is not None:
+        trace_result = tracer.result(meta={
+            "arch": arch,
+            "workload": wl.name,
+            "n_records": built.n_records,
+            "seed": spec.seed,
+            "finish_ps": proc.finish_ps,
+        })
+
     collected = proc.collect()
     energy = compute_energy(arch, cfg, stats, collected)
     return RunResult(
@@ -306,6 +336,7 @@ def _execute(
         validated=validate,
         host_seconds=host_seconds,
         reduced=reduced,
+        trace=trace_result,
     )
 
 

@@ -1,7 +1,7 @@
 """RunSpec: the frozen, serializable description of one simulation.
 
 A :class:`RunSpec` is a pure value — (architecture, workload, config,
-record count, seed, validate flag, sanitize flag) — that fully determines
+record count, seed, validate flag, sanitize flag, trace flag) — that fully determines
 a simulation's outcome.  Because it is frozen, hashable, picklable, and carries a stable
 content hash, it is the unit the campaign runner (:mod:`repro.sim.campaign`)
 deduplicates, ships to worker processes, and keys the result cache on.
@@ -41,6 +41,13 @@ class RunSpec:
     #: results are cached separately) even though a clean sanitized run
     #: produces identical statistics and metrics.
     sanitize: bool = False
+    #: attach :class:`repro.trace.SimTracer` timeline sampling + host
+    #: profiling; the result carries a :class:`repro.trace.TraceResult`.
+    #: Part of the spec identity, though a traced run's statistics are
+    #: byte-identical to an untraced run's.  Traced specs bypass cache
+    #: *lookup* (a cached result has no trace to return); dicts from
+    #: before this field deserialize with ``trace=False``.
+    trace: bool = False
 
     def __post_init__(self):
         # lazy import: driver imports this module at load time
@@ -110,6 +117,7 @@ class RunSpec:
             "seed": self.seed,
             "validate": self.validate,
             "sanitize": self.sanitize,
+            "trace": self.trace,
         }
 
     @classmethod

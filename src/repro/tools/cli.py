@@ -28,8 +28,15 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 def cmd_inspect(args: argparse.Namespace) -> int:
     result = run(args.arch, args.workload, n_records=args.records,
-                 sanitize=args.sanitize)
+                 sanitize=args.sanitize, trace=args.trace is not None,
+                 trace_interval_ps=args.trace_interval_ps)
     print(result.summary())
+    if result.trace is not None:
+        stem = f"{args.arch}-{args.workload}"
+        paths = result.trace.write(args.trace, stem)
+        print(f"trace: {result.trace.summary()}")
+        for kind, path in paths.items():
+            print(f"  {kind:>8s}: {path}")
     print()
     print(attribute_bottleneck(result).render())
     print()
@@ -99,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     i.add_argument("--stats", action="store_true", help="dump raw counters")
     i.add_argument("--sanitize", action="store_true",
                    help="attach runtime invariant checking (repro.sanitize)")
+    i.add_argument("--trace", metavar="DIR", nargs="?", const="traces",
+                   default=None,
+                   help="attach repro.trace and write Chrome trace-event "
+                   "JSON + timeline/profile CSVs under DIR (default: "
+                   "traces/); composes with --sanitize")
+    i.add_argument("--trace-interval-ps", type=int, default=None, metavar="PS",
+                   help="timeline sampling cadence in simulated picoseconds")
     i.set_defaults(fn=cmd_inspect)
 
     l = sub.add_parser("layout", help="dump a workload's address layout")

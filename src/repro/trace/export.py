@@ -1,0 +1,245 @@
+"""Trace containers and exporters.
+
+:class:`TraceResult` is the plain-data product of one traced run: the
+sampled timeline, the DFS frequency-change log, and the host wall-clock
+profile.  It exports as
+
+* **Chrome trace-event JSON** - loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev: each sampled series becomes a counter track
+  (``"ph": "C"``), each DFS change an instant event, and the host profile
+  rides along under ``otherData``;
+* **timeline CSV** - one row per sample, list-valued series (per-corelet
+  instruction counts) expanded into per-unit columns plus a total;
+* **profile CSV** - per-event-class host wall-clock totals.
+
+:class:`TraceWriter` is the campaign-side aggregator: a
+``run_batch(progress=...)`` callback that writes each traced result's
+files as it lands and finishes with a campaign-level ``index.json``
+(per-run manifest + cross-run host-profile totals).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+
+#: 1 ps in Chrome trace microseconds (trace ``ts`` is a float of us)
+_PS_TO_US = 1e-6
+
+
+@dataclass
+class TraceResult:
+    """Everything one traced simulation observed (plain, picklable data)."""
+
+    #: run identity + tracer settings (arch, workload, interval_ps, ...)
+    meta: dict = field(default_factory=dict)
+    #: sampled timeline rows; every row has ``time_ps`` plus one key per
+    #: probed series (scalar, or a list for per-unit series)
+    samples: list = field(default_factory=list)
+    #: (time_ps, clock_name, old_hz, new_hz) DFS transitions
+    freq_changes: list = field(default_factory=list)
+    #: event-class qualname -> {"count", "host_ns"} wall-clock profile
+    host_profile: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # access helpers
+    # ------------------------------------------------------------------
+    def series(self, name: str) -> tuple[list, list]:
+        """(times_ps, values) of one sampled series, skipping samples where
+        the series was absent or ``None``."""
+        times, values = [], []
+        for row in self.samples:
+            v = row.get(name)
+            if v is not None:
+                times.append(row["time_ps"])
+                values.append(v)
+        return times, values
+
+    def series_names(self) -> list[str]:
+        """Sampled series names in first-seen order."""
+        names: list[str] = []
+        seen = {"time_ps"}
+        for row in self.samples:
+            for k in row:
+                if k not in seen:
+                    seen.add(k)
+                    names.append(k)
+        return names
+
+    def host_profile_by_component(self) -> dict[str, dict[str, float]]:
+        """Host profile re-aggregated per component (the class name of the
+        bound method each event called, i.e. the qualname's first part)."""
+        out: dict[str, dict[str, float]] = {}
+        for qualname, cell in self.host_profile.items():
+            comp = qualname.split(".", 1)[0]
+            agg = out.setdefault(comp, {"count": 0, "host_ns": 0})
+            agg["count"] += cell["count"]
+            agg["host_ns"] += cell["host_ns"]
+        return out
+
+    def total_host_ns(self) -> int:
+        return sum(c["host_ns"] for c in self.host_profile.values())
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event JSON
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> dict:
+        """The run as a Chrome trace-event object (JSON-serializable)."""
+        label = self.meta.get("label") or "{}/{}".format(
+            self.meta.get("arch", "sim"), self.meta.get("workload", "run"))
+        events: list[dict] = [
+            {"ph": "M", "pid": 1, "name": "process_name",
+             "args": {"name": f"repro {label}"}},
+        ]
+        for row in self.samples:
+            ts = row["time_ps"] * _PS_TO_US
+            for name, value in row.items():
+                if name == "time_ps" or value is None:
+                    continue
+                if isinstance(value, (list, tuple)):
+                    args = {f"u{i}": v for i, v in enumerate(value)}
+                else:
+                    args = {"value": value}
+                events.append({"ph": "C", "pid": 1, "name": name,
+                               "ts": ts, "args": args})
+        for time_ps, clock_name, old_hz, new_hz in self.freq_changes:
+            events.append({
+                "ph": "i", "pid": 1, "tid": 1, "s": "g",
+                "ts": time_ps * _PS_TO_US,
+                "name": (f"dfs {clock_name}: {old_hz / 1e6:.1f} -> "
+                         f"{new_hz / 1e6:.1f} MHz"),
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "meta": self.meta,
+                "host_profile": self.host_profile,
+                "host_profile_by_component": self.host_profile_by_component(),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # CSV
+    # ------------------------------------------------------------------
+    def timeline_csv(self) -> str:
+        """The sampled timeline as CSV text (header + one row per sample)."""
+        names = self.series_names()
+        # list-valued series expand to fixed per-unit columns + a total
+        widths: dict[str, int] = {}
+        for row in self.samples:
+            for name in names:
+                v = row.get(name)
+                if isinstance(v, (list, tuple)):
+                    widths[name] = max(widths.get(name, 0), len(v))
+        columns: list[str] = ["time_ps"]
+        for name in names:
+            if name in widths:
+                columns.extend(f"{name}.{i}" for i in range(widths[name]))
+                columns.append(f"{name}.total")
+            else:
+                columns.append(name)
+        lines = [",".join(columns)]
+        for row in self.samples:
+            cells = [str(row["time_ps"])]
+            for name in names:
+                v = row.get(name)
+                if name in widths:
+                    vals = list(v) if isinstance(v, (list, tuple)) else []
+                    vals += [None] * (widths[name] - len(vals))
+                    cells.extend("" if x is None else str(x) for x in vals)
+                    cells.append(str(sum(x for x in vals if x is not None)))
+                else:
+                    cells.append("" if v is None else str(v))
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def profile_csv(self) -> str:
+        """Per-event-class host profile as CSV, heaviest class first."""
+        lines = ["event_class,count,host_ns,host_ns_per_event"]
+        ordered = sorted(self.host_profile.items(),
+                         key=lambda kv: kv[1]["host_ns"], reverse=True)
+        for qualname, cell in ordered:
+            per = cell["host_ns"] / cell["count"] if cell["count"] else 0.0
+            lines.append(f"{qualname},{cell['count']},{cell['host_ns']},{per:.1f}")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def write(self, out_dir: "Path | str", stem: str) -> dict[str, Path]:
+        """Write ``<stem>.trace.json`` / ``<stem>.timeline.csv`` /
+        ``<stem>.profile.csv`` under ``out_dir``; returns the paths."""
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace": out_dir / f"{stem}.trace.json",
+            "timeline": out_dir / f"{stem}.timeline.csv",
+            "profile": out_dir / f"{stem}.profile.csv",
+        }
+        paths["trace"].write_text(json.dumps(self.chrome_trace()))
+        paths["timeline"].write_text(self.timeline_csv())
+        paths["profile"].write_text(self.profile_csv())
+        return paths
+
+    def summary(self) -> str:
+        """One-paragraph human summary (used by ``repro.tools inspect``)."""
+        total_ms = self.total_host_ns() / 1e6
+        top = sorted(self.host_profile_by_component().items(),
+                     key=lambda kv: kv[1]["host_ns"], reverse=True)[:4]
+        hot = ", ".join(
+            f"{comp} {cell['host_ns'] / 1e6:.1f}ms" for comp, cell in top)
+        return (f"{len(self.samples)} samples @ "
+                f"{self.meta.get('interval_ps', '?')}ps, "
+                f"{len(self.freq_changes)} DFS changes, "
+                f"host {total_ms:.1f}ms in events ({hot})")
+
+
+class TraceWriter:
+    """Campaign-level trace collection: a ``run_batch(progress=...)``
+    callback that writes each traced result's files and aggregates the
+    host profiles across the batch.
+
+    Wraps (and forwards to) an existing progress callback so tracing and
+    progress reporting compose on the same ``run_batch`` call.
+    """
+
+    def __init__(self, out_dir: "Path | str",
+                 progress: Optional[Callable] = None):
+        self.out_dir = Path(out_dir)
+        self.index: list[dict] = []
+        self.profile_totals: dict[str, dict[str, float]] = {}
+        self._wrapped = progress
+
+    def __call__(self, event) -> None:  # event: campaign.BatchProgress
+        if self._wrapped is not None:
+            self._wrapped(event)
+        trace = getattr(event.result, "trace", None)
+        if trace is None:
+            return
+        stem = (f"{event.spec.arch}-{event.spec.workload}-"
+                f"{event.spec.content_hash()}")
+        paths = trace.write(self.out_dir, stem)
+        for qualname, cell in trace.host_profile.items():
+            agg = self.profile_totals.setdefault(
+                qualname, {"count": 0, "host_ns": 0})
+            agg["count"] += cell["count"]
+            agg["host_ns"] += cell["host_ns"]
+        self.index.append({
+            "spec": event.spec.to_dict(),
+            "stem": stem,
+            "samples": len(trace.samples),
+            "freq_changes": len(trace.freq_changes),
+            "host_ns": trace.total_host_ns(),
+            "files": {k: p.name for k, p in paths.items()},
+        })
+
+    def finish(self) -> Path:
+        """Write the campaign index + cross-run profile aggregation."""
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path = self.out_dir / "index.json"
+        path.write_text(json.dumps(
+            {"runs": self.index, "host_profile_totals": self.profile_totals},
+            indent=2))
+        return path

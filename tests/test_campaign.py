@@ -115,6 +115,23 @@ class TestRunBatch:
             assert a.finish_ps == b.finish_ps
             assert a.collected == b.collected
 
+    def test_cached_progress_reports_zero_host_seconds(self, tmp_path):
+        # regression: host_seconds promised "0-ish for cache hits" but
+        # returned the original simulation's wall-clock, inflating
+        # campaign ETA estimates on warm caches
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("millipede", "count", n_records=N)
+        cold: list[BatchProgress] = []
+        run_batch([spec], workers=1, cache=cache, progress=cold.append)
+        warm: list[BatchProgress] = []
+        run_batch([spec], workers=1, cache=cache, progress=warm.append)
+        assert not cold[0].cached and cold[0].host_seconds > 0
+        assert cold[0].sim_host_seconds == cold[0].host_seconds
+        assert warm[0].cached
+        assert warm[0].host_seconds == 0.0  # this batch did no simulation
+        assert warm[0].sim_host_seconds > 0  # the original run's wall-clock
+        assert "cached" in str(warm[0])
+
     def test_progress_counts(self):
         specs = cross(["ssmc", "millipede"], ["count"], n_records=N)
         events: list[BatchProgress] = []

@@ -148,6 +148,33 @@ class TestRateMatchController:
         rc.empty_signal()  # within the interval: ignored
         assert clock.freq_hz == f
 
+    def test_clamped_noop_leaves_debounce_window_open(self):
+        # regression: a signal whose step clamped to a no-op at
+        # rate_match_min/max_hz used to consume the debounce window,
+        # starving an immediately following opposite-direction signal
+        eng, clock, rc = self.make(interval_ps=1_000_000)
+        lo = rc.cfg.rate_match_min_hz
+        clock.set_frequency(lo)
+        rc.empty_signal()  # already at the floor: clamps to a no-op
+        assert clock.freq_hz == lo
+        rc.full_signal()  # must act despite being inside the window
+        assert clock.freq_hz == pytest.approx(lo * (1 + rc.cfg.rate_match_step))
+        assert rc.stats["adjustments"] == 1
+
+    def test_clamped_noop_not_recorded_as_adjustment(self):
+        eng, clock, rc = self.make(interval_ps=1_000_000)
+        clock.set_frequency(rc.cfg.rate_match_min_hz)
+        rc.empty_signal()
+        assert rc.stats["adjustments"] == 0
+        assert len(rc.history) == 1  # only the initial point
+
+    def test_debounce_still_applies_after_real_change(self):
+        eng, clock, rc = self.make(interval_ps=1_000_000)
+        rc.empty_signal()  # real change at t=0
+        f = clock.freq_hz
+        rc.full_signal()  # within the interval: ignored
+        assert clock.freq_hz == f
+
     def test_mean_frequency_time_weighted(self):
         eng, clock, rc = self.make()
         eng.schedule(1000, rc.empty_signal)

@@ -7,6 +7,7 @@ from hypothesis import given, strategies as st
 
 from repro.engine.clock import Clock, period_ps
 from repro.engine.events import Engine
+from repro.engine.observer import ObserverChain, attach_observer, detach_observer
 from repro.engine.stats import Stats
 
 
@@ -81,6 +82,38 @@ class TestEngine:
         assert eng.now == 200
         eng.run()
         assert out == [1, 2]
+
+    def test_run_until_advances_idle_engine(self):
+        # regression: an empty heap used to leave `now` untouched, so
+        # idle time was accounted differently from the events-beyond-
+        # `until` case
+        eng = Engine()
+        assert eng.run(until=500) == 0
+        assert eng.now == 500
+
+    def test_run_until_advances_past_last_event(self):
+        eng = Engine()
+        out = []
+        eng.schedule(100, out.append, 1)
+        assert eng.run(until=300) == 1
+        assert out == [1]
+        assert eng.now == 300  # drained early: still finishes at `until`
+
+    def test_run_until_never_rewinds_time(self):
+        eng = Engine()
+        eng.schedule(400, lambda: None)
+        eng.run()
+        assert eng.now == 400
+        assert eng.run(until=100) == 0
+        assert eng.now == 400  # until in the past must not move time back
+
+    def test_max_events_does_not_advance_to_until(self):
+        eng = Engine()
+        eng.schedule(100, lambda: None)
+        eng.schedule(200, lambda: None)
+        assert eng.run(until=900, max_events=1) == 1
+        assert eng.now == 100  # an undelivered event remains in the window
+        assert eng.pending == 1
 
     def test_peek_time_skips_cancelled(self):
         eng = Engine()
@@ -170,6 +203,144 @@ class TestStats:
         b.inc("only_b", 5)
         a.merge(b)
         assert a["k"] == 3 and a["only_b"] == 5
+
+    def test_set_marks_gauge(self):
+        s = Stats()
+        s.inc("counter", 2)
+        s.set("gauge", 7.0)
+        assert s.is_gauge("gauge") and not s.is_gauge("counter")
+        assert s.gauges() == {"gauge"}
+
+    def test_merge_keeps_gauge_last_write(self):
+        # regression: gauge-style counters written via set() (final DFS
+        # frequency, finish timestamps) were summed across shards
+        a, b = Stats(), Stats()
+        a.set("ratematch.final_hz", 650e6)
+        b.set("ratematch.final_hz", 700e6)
+        a.inc("events", 3)
+        b.inc("events", 2)
+        a.merge(b)
+        assert a["ratematch.final_hz"] == 700e6  # not 1350e6
+        assert a["events"] == 5
+        assert a.is_gauge("ratematch.final_hz")
+
+    def test_merge_gauge_known_to_either_side(self):
+        # a gauge the destination knows but the (deserialized) source
+        # lost track of still takes the incoming value, not the sum
+        a, b = Stats(), Stats()
+        a.set("g", 1.0)
+        b.inc("g", 2.0)  # plain counter write on the incoming side
+        a.merge(b)
+        assert a["g"] == 2.0
+
+    def test_from_dict_restores_gauges(self):
+        s = Stats()
+        s.set("g", 5.0)
+        s.inc("c", 1)
+        r = Stats.from_dict(s.as_dict(), gauges=s.gauges())
+        assert r.is_gauge("g") and not r.is_gauge("c")
+        r.merge(Stats.from_dict(s.as_dict(), gauges=s.gauges()))
+        assert r["g"] == 5.0 and r["c"] == 2.0
+
+
+class _Recorder:
+    """Observer stub: records (hook, args) tuples into a shared log."""
+
+    def __init__(self, tag, log, hooks=("on_deliver",)):
+        self._tag = tag
+        self._log = log
+        for hook in hooks:
+            setattr(self, hook,
+                    lambda *a, _h=hook: self._log.append((self._tag, _h, a)))
+
+
+class TestObserverChain:
+    def test_fan_out_in_attachment_order(self):
+        log = []
+        chain = ObserverChain(_Recorder("a", log), _Recorder("b", log))
+        chain.on_deliver("ev")
+        assert log == [("a", "on_deliver", ("ev",)), ("b", "on_deliver", ("ev",))]
+
+    def test_children_receive_only_their_hooks(self):
+        log = []
+        chain = ObserverChain(_Recorder("a", log),
+                              _Recorder("b", log, hooks=("on_deliver", "on_return")))
+        chain.on_return("ev")
+        assert log == [("b", "on_return", ("ev",))]
+        chain.on_nobody_implements_this("x")  # cached no-op, no error
+
+    def test_add_invalidates_cached_dispatch(self):
+        log = []
+        chain = ObserverChain(_Recorder("a", log))
+        chain.on_deliver(1)  # caches the single-child fast path
+        chain.add(_Recorder("b", log))
+        chain.on_deliver(2)
+        assert [tag for tag, _, _ in log] == ["a", "a", "b"]
+
+    def test_remove_and_empty_chain(self):
+        log = []
+        a, b = _Recorder("a", log), _Recorder("b", log)
+        chain = ObserverChain(a, b)
+        chain.remove(a)
+        chain.on_deliver(1)
+        assert [tag for tag, _, _ in log] == ["b"]
+        assert chain.observers == (b,)
+
+    def test_none_children_dropped(self):
+        chain = ObserverChain(None, None)
+        assert chain.observers == ()
+        with pytest.raises(TypeError):
+            chain.add(None)
+
+    def test_attach_promotes_bare_observer(self):
+        log = []
+        eng = Engine()
+        a, b = _Recorder("a", log), _Recorder("b", log)
+        eng.observer = a  # legacy single-slot attachment
+        chain = attach_observer(eng, b)
+        assert eng.observer is chain
+        assert chain.observers == (a, b)
+        eng.schedule(10, lambda: None)
+        eng.run()
+        assert [tag for tag, _, _ in log] == ["a", "b"]
+
+    def test_attach_to_empty_slot_then_detach(self):
+        eng = Engine()
+        a = _Recorder("a", [])
+        attach_observer(eng, a)
+        detach_observer(eng, a)
+        assert eng.observer is None
+
+    def test_detach_last_chained_observer_clears_slot(self):
+        eng = Engine()
+        a, b = _Recorder("a", []), _Recorder("b", [])
+        attach_observer(eng, a)
+        attach_observer(eng, b)
+        detach_observer(eng, a)
+        detach_observer(eng, b)
+        assert eng.observer is None
+
+    def test_observed_run_is_bit_identical(self):
+        def build():
+            eng = Engine()
+            out = []
+
+            def chain_fn(n):
+                out.append((eng.now, n))
+                if n < 5:
+                    eng.schedule(7, chain_fn, n + 1)
+
+            eng.schedule(3, chain_fn, 0)
+            return eng, out
+
+        plain_eng, plain = build()
+        plain_eng.run()
+        obs_eng, observed = build()
+        attach_observer(obs_eng, _Recorder("x", []))
+        attach_observer(obs_eng, _Recorder("y", []))
+        obs_eng.run()
+        assert observed == plain
+        assert obs_eng.now == plain_eng.now
 
 
 class TestStatsHardening:

@@ -202,11 +202,30 @@ class TestEngineChecks:
             eng.schedule(100, lambda: None)
         eng.run()  # 400 same-time events < horizon: fine
 
-    def test_double_attach_rejected(self):
+    def test_two_sanitizers_compose(self):
+        # the observer slot is a fan-out chain now (repro.engine.observer),
+        # so a second sanitizer attaches alongside instead of being refused
         eng = Engine()
-        SimSanitizer().attach_engine(eng)
-        with pytest.raises(RuntimeError):
-            SimSanitizer().attach_engine(eng)
+        a, b = SimSanitizer(), SimSanitizer()
+        a.attach_engine(eng)
+        b.attach_engine(eng)
+        eng.schedule(10, lambda: None)
+        eng.run()
+        assert a.checks["time-monotonicity"] == 1
+        assert b.checks["time-monotonicity"] == 1
+
+    def test_sanitizer_composes_with_tracer(self):
+        from repro.trace import SimTracer
+
+        eng = Engine()
+        san = SimSanitizer()
+        tr = SimTracer()
+        san.attach_engine(eng)
+        tr.attach_engine(eng)
+        eng.schedule(10, lambda: None)
+        eng.run()
+        assert san.checks["time-monotonicity"] == 1
+        assert tr.result().host_profile  # both observed the same event
 
 
 # ----------------------------------------------------------------------

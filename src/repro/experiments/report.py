@@ -41,7 +41,9 @@ the benchmark suite, and rough improvement factors.
 
 def write_markdown(results: Sequence[ExperimentResult], path: Path | str) -> Path:
     path = Path(path)
-    parts = [_HEADER, f"*Generated: {datetime.date.today().isoformat()}*\n"]
+    # date stamp of a human-readable artifact, never sim-state-reachable
+    stamp = datetime.date.today().isoformat()  # repro-lint: disable=DET002
+    parts = [_HEADER, f"*Generated: {stamp}*\n"]
     for res in results:
         parts.append(res.markdown())
     path.write_text("\n\n".join(parts) + "\n")

@@ -100,7 +100,7 @@ def main(argv: list[str] | None = None) -> int:
     trace_dir = Path(args.trace) if args.trace is not None else None
     results = []
     for name in names:
-        t0 = time.time()
+        t0 = time.perf_counter()
         res = EXPERIMENTS[name].run_experiment(
             DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs,
             sanitize=args.sanitize,
@@ -109,7 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         results.append(res)
         print(res.text())
-        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+        print(f"[{name} took {time.perf_counter() - t0:.1f}s]\n")
     if trace_dir is not None:
         print(f"trace artifacts under {trace_dir}/ (load the *.trace.json "
               "files in chrome://tracing or https://ui.perfetto.dev)")

@@ -1,0 +1,34 @@
+"""repro.lint — simulator-aware static analysis.
+
+The static counterpart of the runtime sanitizer (:mod:`repro.sanitize`):
+AST-based rules that check, over every source file on every run, the
+properties the simulator's correctness story depends on — determinism
+(DET*), observer-hook conformance (HOOK*), stats-registry discipline
+(STAT*), pickle/multiprocess safety (PICK*), and observer purity (PURE*).
+
+Run it as ``python -m repro.lint [paths]``, ``repro-lint`` (installed
+entry point), or ``python -m repro.tools lint``.  See ``docs/linting.md``
+for the rule catalog and suppression syntax.
+"""
+
+from repro.lint.core import (
+    Finding,
+    LintReport,
+    LintRunner,
+    REGISTRY,
+    Rule,
+    all_rule_classes,
+    lint_paths,
+    register,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LintRunner",
+    "REGISTRY",
+    "Rule",
+    "all_rule_classes",
+    "lint_paths",
+    "register",
+]

@@ -1,0 +1,321 @@
+"""Framework for the simulator-aware static analysis pass.
+
+The linter is the static counterpart of the runtime sanitizer
+(:mod:`repro.sanitize`): where the sanitizer checks invariants on the
+configs we happen to execute, the linter checks whole-codebase properties
+on every source file — determinism of sim-reachable code, observer-hook
+conformance against the actual dispatch sites, stats-registry discipline,
+pickle/multiprocess safety, and observer purity.
+
+Structure
+---------
+* :class:`Finding` — one structured diagnostic (rule id, location,
+  message, suppressed flag).
+* :class:`Rule` — base class; subclasses register themselves with
+  :func:`register`.  A rule sees each parsed module via
+  :meth:`Rule.check_module` and, for cross-file analyses (hook
+  conformance, mixed counter semantics), the whole set again via
+  :meth:`Rule.finish_project`.
+* :class:`LintRunner` — walks ``.py`` files, parses them once, runs every
+  selected rule, applies inline suppressions, and returns a
+  :class:`LintReport`.
+
+Suppressions
+------------
+``# repro-lint: disable=RULE1,RULE2`` as a trailing comment suppresses
+those rules on that line; on a line of its own it suppresses them on the
+next line.  ``disable=all`` suppresses every rule.  Suppressed findings
+are retained (so ``--show-suppressed`` can audit them) but do not fail
+the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule."""
+
+    rule: str  #: rule id, e.g. ``"DET002"``
+    path: str  #: file the finding is in (as given on the command line)
+    line: int  #: 1-based line number
+    col: int  #: 0-based column offset
+    message: str
+    suppressed: bool = False  #: matched an inline ``repro-lint: disable``
+
+    def text(self) -> str:
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+class ModuleInfo:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, path: Path, display_path: str, source: str):
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.tree = ast.parse(source, filename=display_path)
+        #: line number -> set of rule ids (or ``{"all"}``) disabled there
+        self.suppressions: dict[int, set[str]] = _parse_suppressions(source)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return rules is not None and ("all" in rules or rule in rules)
+
+
+def _parse_suppressions(source: str) -> dict[int, set[str]]:
+    table: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m is None:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            line = tok.start[0]
+            table.setdefault(line, set()).update(rules)
+            if tok.line.lstrip().startswith("#"):
+                # a comment-only line also covers the line below it
+                table.setdefault(line + 1, set()).update(rules)
+    except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+        pass
+    return table
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``name``/``rationale`` and
+    override :meth:`check_module` and/or :meth:`finish_project`.
+
+    One instance lives for one :class:`LintRunner` run, so cross-file
+    rules may accumulate state in ``check_module`` and report from
+    ``finish_project``.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def finish_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: rule id -> rule class (populated by :func:`register` at import time)
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: add a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rule_classes() -> dict[str, type[Rule]]:
+    """The registry with every built-in rule module imported."""
+    import repro.lint.rules  # noqa: F401  (imports populate REGISTRY)
+
+    return dict(REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rule modules
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """The leftmost Name an expression hangs off (through attribute,
+    subscript, and call chains): ``self`` for ``self.shadow.get(x)``."""
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Starred):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> canonical dotted module/attribute path for every
+    top-level import (``np`` -> ``numpy``, ``randint`` ->
+    ``random.randint``)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def canonical_call(node: ast.Call, aliases: dict[str, str]) -> Optional[str]:
+    """The called target's canonical dotted path, resolved through the
+    module's import aliases (``np.random.rand`` -> ``numpy.random.rand``);
+    None when the chain is not rooted at an imported name."""
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    base = aliases.get(head)
+    if base is None:
+        return None
+    return f"{base}.{rest}" if rest else base
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: int = 0
+    errors: list[str] = field(default_factory=list)  #: unparsable files
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed and not self.errors
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.unsuppressed:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "files": self.files,
+            "ok": self.ok,
+            "errors": list(self.errors),
+            "summary": self.by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def iter_py_files(paths: Iterable[Path]) -> list[tuple[Path, str]]:
+    """Expand files/directories into (path, display_path) pairs, sorted
+    for deterministic output."""
+    out: list[tuple[Path, str]] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                out.append((f, str(f)))
+        else:
+            out.append((p, str(p)))
+    return out
+
+
+class LintRunner:
+    def __init__(
+        self,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ):
+        classes = all_rule_classes()
+        wanted = set(select) if select else set(classes)
+        wanted -= set(ignore or ())
+        unknown = wanted - set(classes)
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        self.rules: list[Rule] = [classes[rid]() for rid in sorted(wanted)]
+
+    def run(self, paths: Iterable[Path]) -> LintReport:
+        report = LintReport()
+        modules: list[ModuleInfo] = []
+        for path, display in iter_py_files(paths):
+            try:
+                source = path.read_text()
+                modules.append(ModuleInfo(path, display, source))
+            except (OSError, SyntaxError, ValueError) as exc:
+                report.errors.append(f"{display}: {exc}")
+        report.files = len(modules)
+
+        raw: list[Finding] = []
+        by_path = {m.display_path: m for m in modules}
+        for rule in self.rules:
+            for module in modules:
+                raw.extend(rule.check_module(module))
+            raw.extend(rule.finish_project(modules))
+
+        for f in raw:
+            module = by_path.get(f.path)
+            if module is not None and module.suppressed(f.rule, f.line):
+                f = Finding(f.rule, f.path, f.line, f.col, f.message,
+                            suppressed=True)
+            report.findings.append(f)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint files/directories with the selected rules (default: all)."""
+    return LintRunner(select=select, ignore=ignore).run(paths)

@@ -1,0 +1,10 @@
+"""Built-in rule families.  Importing this package registers every rule
+with :data:`repro.lint.core.REGISTRY`."""
+
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    hooks,
+    pickle_safety,
+    purity,
+    stats,
+)

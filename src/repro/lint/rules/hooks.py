@@ -1,0 +1,238 @@
+"""Observer-hook conformance rules (HOOK).
+
+:class:`repro.engine.observer.ObserverChain` dispatches lazily by name: a
+hook nobody implements becomes a cached no-op, and an observer method
+nobody dispatches simply never fires.  That is what lets the sanitizer and
+tracer compose, but it also means a misspelled ``on_*`` method fails
+*silently* — the exact bug class these rules make loud.
+
+The pass works in two sweeps over the analyzed file set:
+
+1. collect every **dispatch site** — a call ``X.on_<hook>(...)`` whose
+   receiver is an ``observer`` attribute (``self.observer.on_fill(e)``) or
+   a local alias of one (``obs = self.observer; obs.on_deliver(ev)``), plus
+   ``getattr(obs, "on_<hook>", ...)`` string-constant dispatches (arity
+   unknown);
+2. collect every **observer hook** — an ``on_*`` method on a class (hooks
+   a class invokes on *itself*, e.g. callback slots like ``on_finished``,
+   are exempt), then flag hooks whose name matches no dispatch site
+   (HOOK001) or whose signature can accept none of the matching sites'
+   argument counts (HOOK002).
+
+Both rules stay silent when the file set contains no dispatch sites at
+all (e.g. linting a lone observer module), since the vocabulary is
+unknowable there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.lint.core import Finding, ModuleInfo, Rule, register
+
+
+@dataclass(frozen=True)
+class DispatchSite:
+    path: str
+    line: int
+    hook: str
+    nargs: Optional[int]  #: None for getattr-based dispatch (arity unknown)
+
+
+@dataclass(frozen=True)
+class HookDef:
+    path: str
+    line: int
+    col: int
+    cls: str
+    hook: str
+    min_args: int  #: required positional args, excluding self
+    max_args: Optional[int]  #: None when the hook takes *args
+
+
+def _observer_receiver(call: ast.Call, observer_aliases: set[str]) -> bool:
+    """Is this ``X.on_*()`` call dispatched through an observer slot?"""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    recv = func.value
+    if isinstance(recv, ast.Attribute) and recv.attr == "observer":
+        return True
+    if isinstance(recv, ast.Name) and recv.id in observer_aliases:
+        return True
+    return False
+
+
+def _collect_observer_aliases(fn: ast.AST) -> set[str]:
+    """Names assigned from an ``.observer`` attribute within ``fn``."""
+    aliases: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.Attribute) and value.attr == "observer":
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        aliases.add(tgt.id)
+    return aliases
+
+
+def collect_dispatch_sites(module: ModuleInfo) -> list[DispatchSite]:
+    sites: list[DispatchSite] = []
+    # observer aliases are resolved per enclosing function, so a stale
+    # name in another scope cannot turn unrelated calls into dispatches
+    funcs = [n for n in ast.walk(module.tree)
+             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    scopes: list[tuple[ast.AST, set[str]]] = [
+        (fn, _collect_observer_aliases(fn)) for fn in funcs
+    ]
+    scopes.append((module.tree, set()))
+    seen: set[int] = set()
+    for scope, aliases in scopes:
+        for node in ast.walk(scope):
+            if id(node) in seen or not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr.startswith("on_")
+                    and _observer_receiver(node, aliases)):
+                seen.add(id(node))
+                nargs = (None if any(isinstance(a, ast.Starred) for a in node.args)
+                         else len(node.args) + len(node.keywords))
+                sites.append(DispatchSite(module.display_path, node.lineno,
+                                          func.attr, nargs))
+            elif (isinstance(func, ast.Name) and func.id == "getattr"
+                    and len(node.args) >= 2
+                    and isinstance(node.args[1], ast.Constant)
+                    and isinstance(node.args[1].value, str)
+                    and node.args[1].value.startswith("on_")):
+                seen.add(id(node))
+                sites.append(DispatchSite(module.display_path, node.lineno,
+                                          node.args[1].value, None))
+    return sites
+
+
+def _self_invoked_hooks(cls: ast.ClassDef) -> set[str]:
+    """Hook names the class calls on ``self`` (callback-slot pattern like
+    ``self.on_finished()`` — not observer hooks)."""
+    hooks: set[str] = set()
+    for node in ast.walk(cls):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and node.func.attr.startswith("on_")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"):
+            hooks.add(node.func.attr)
+    return hooks
+
+
+def collect_hook_defs(module: ModuleInfo) -> list[HookDef]:
+    defs: list[HookDef] = []
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        self_hooks = _self_invoked_hooks(cls)
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not item.name.startswith("on_") or item.name in self_hooks:
+                continue
+            a = item.args
+            positional = len(a.posonlyargs) + len(a.args) - 1  # minus self
+            required = positional - len(a.defaults)
+            defs.append(HookDef(
+                path=module.display_path,
+                line=item.lineno,
+                col=item.col_offset,
+                cls=cls.name,
+                hook=item.name,
+                min_args=max(0, required),
+                max_args=None if a.vararg is not None else positional,
+            ))
+    return defs
+
+
+class _HookRuleBase(Rule):
+    def __init__(self) -> None:
+        self._sites: list[DispatchSite] = []
+        self._defs: list[HookDef] = []
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        self._sites.extend(collect_dispatch_sites(module))
+        self._defs.extend(collect_hook_defs(module))
+        return iter(())
+
+
+@register
+class UndispatchedHookRule(_HookRuleBase):
+    id = "HOOK001"
+    name = "hook-never-dispatched"
+    rationale = (
+        "ObserverChain turns unknown hook names into cached no-ops, so an "
+        "observer method whose name matches no dispatch site never fires "
+        "— silently"
+    )
+
+    def finish_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        if not self._sites:
+            return
+        dispatched = {s.hook for s in self._sites}
+        for d in self._defs:
+            if d.hook not in dispatched:
+                yield Finding(
+                    rule=self.id, path=d.path, line=d.line, col=d.col,
+                    message=(
+                        f"{d.cls}.{d.hook} matches no dispatch site in the "
+                        "analyzed files; through ObserverChain it will "
+                        "silently never fire (known hooks: "
+                        f"{', '.join(sorted(dispatched))})"
+                    ),
+                )
+
+
+@register
+class HookArityRule(_HookRuleBase):
+    id = "HOOK002"
+    name = "hook-arity-mismatch"
+    rationale = (
+        "a hook whose signature cannot accept the arguments any dispatch "
+        "site passes raises TypeError mid-simulation (or, with defaults, "
+        "silently drops data)"
+    )
+
+    def finish_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        if not self._sites:
+            return
+        by_hook: dict[str, list[DispatchSite]] = {}
+        for s in self._sites:
+            by_hook.setdefault(s.hook, []).append(s)
+        for d in self._defs:
+            sites = by_hook.get(d.hook)
+            if not sites:
+                continue  # HOOK001's finding
+            known = [s for s in sites if s.nargs is not None]
+            if not known:
+                continue  # every site is getattr-based: arity unknowable
+            if any(self._compatible(d, s.nargs) for s in known):
+                continue
+            arities = sorted({s.nargs for s in known})
+            where = ", ".join(f"{s.path}:{s.line}" for s in known[:3])
+            yield Finding(
+                rule=self.id, path=d.path, line=d.line, col=d.col,
+                message=(
+                    f"{d.cls}.{d.hook} accepts "
+                    f"{self._span(d)} argument(s) but every dispatch site "
+                    f"passes {'/'.join(map(str, arities))} ({where})"
+                ),
+            )
+
+    @staticmethod
+    def _compatible(d: HookDef, nargs: int) -> bool:
+        return d.min_args <= nargs and (d.max_args is None or nargs <= d.max_args)
+
+    @staticmethod
+    def _span(d: HookDef) -> str:
+        if d.max_args is None:
+            return f">={d.min_args}"
+        if d.min_args == d.max_args:
+            return str(d.min_args)
+        return f"{d.min_args}-{d.max_args}"

@@ -1,0 +1,147 @@
+"""Pickle / multiprocess-safety rules (PICK).
+
+``run_batch(specs, workers=N)`` pickles work items into a
+``multiprocessing`` pool.  Lambdas, closures, and locally-defined
+functions/classes do not pickle; and module-level globals mutated inside a
+worker mutate the *worker's* copy only, so the parent silently never sees
+the write.  Both failure modes surface far from their cause (or not at
+all), which makes them lint material.
+
+``run_batch``'s ``progress=`` and ``cache=`` keywords are exempt from
+PICK001: both are documented parent-side-only (workers never receive
+them), so closures there are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleInfo, Rule, register
+
+#: pool fan-out methods whose first argument is shipped to workers
+_POOL_METHODS = {"imap", "imap_unordered", "map_async", "starmap",
+                 "starmap_async", "apply", "apply_async"}
+#: ``.map``/``.submit`` are common enough to need a pool-ish receiver name
+_POOL_METHODS_GUARDED = {"map", "submit"}
+#: run_batch kwargs that stay in the parent process
+_PARENT_SIDE_KWARGS = {"progress", "cache"}
+
+
+def _pool_receiver(func: ast.Attribute) -> bool:
+    if func.attr in _POOL_METHODS:
+        return True
+    if func.attr in _POOL_METHODS_GUARDED:
+        recv = func.value
+        name = recv.id if isinstance(recv, ast.Name) else (
+            recv.attr if isinstance(recv, ast.Attribute) else "")
+        low = name.lower()
+        return "pool" in low or "executor" in low
+    return False
+
+
+def _local_defs(scope: ast.AST) -> set[str]:
+    """Function/class names defined directly inside a function scope
+    (nested defs — unpicklable by reference)."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if node is scope:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+@register
+class UnpicklableWorkerArgRule(Rule):
+    id = "PICK001"
+    name = "unpicklable-worker-callable"
+    rationale = (
+        "lambdas and locally-defined functions/classes cannot be pickled "
+        "into multiprocessing workers; run_batch and pool fan-out need "
+        "module-level callables and plain-data specs"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        # map each call to its innermost enclosing function's local defs
+        scopes: list[tuple[ast.AST, set[str]]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append((node, _local_defs(node)))
+
+        def locals_for(call: ast.Call) -> set[str]:
+            best: set[str] = set()
+            best_span = None
+            for scope, names in scopes:
+                if (scope.lineno <= call.lineno
+                        and call.lineno <= (scope.end_lineno or scope.lineno)):
+                    span = (scope.end_lineno or scope.lineno) - scope.lineno
+                    if best_span is None or span < best_span:
+                        best, best_span = names, span
+            return best
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            worker_args = self._worker_bound_args(node)
+            if worker_args is None:
+                continue
+            local_names = locals_for(node)
+            for arg in worker_args:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        module, arg,
+                        "lambda flows into a worker-executed path; "
+                        "multiprocessing cannot pickle it — use a "
+                        "module-level function",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in local_names:
+                    yield self.finding(
+                        module, arg,
+                        f"locally-defined {arg.id!r} flows into a "
+                        "worker-executed path; nested functions/classes do "
+                        "not pickle — define it at module level",
+                    )
+
+    @staticmethod
+    def _worker_bound_args(node: ast.Call) -> "list[ast.expr] | None":
+        """The argument expressions of ``node`` that reach workers, or
+        None when the call is not a worker dispatch point."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "run_batch":
+            return list(node.args) + [
+                kw.value for kw in node.keywords
+                if kw.arg not in _PARENT_SIDE_KWARGS
+            ]
+        if isinstance(func, ast.Attribute):
+            if func.attr == "run_batch":
+                return list(node.args) + [
+                    kw.value for kw in node.keywords
+                    if kw.arg not in _PARENT_SIDE_KWARGS
+                ]
+            if _pool_receiver(func):
+                return list(node.args) + [kw.value for kw in node.keywords]
+        return None
+
+
+@register
+class WorkerGlobalMutationRule(Rule):
+    id = "PICK002"
+    name = "worker-global-mutation"
+    rationale = (
+        "a module-level global rebound inside a function mutates only the "
+        "current process's copy; under run_batch fan-out the parent never "
+        "observes worker-side writes, so results silently diverge from "
+        "the serial path"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    module, node,
+                    f"function rebinds module global(s) "
+                    f"{', '.join(node.names)}; worker processes each mutate "
+                    "their own copy — pass state explicitly or keep a "
+                    "per-process memo passed as a parameter",
+                )

@@ -1,0 +1,92 @@
+"""Event-handler purity rules (PURE).
+
+Observer hooks are read-only by contract: that contract is what makes a
+sanitized or traced run bit-identical to a bare one (the whole point of
+composing them through :class:`repro.engine.observer.ObserverChain`).  A
+hook that writes an attribute of the component it observes breaks the
+guarantee in the worst possible way — the run still completes, with
+slightly different numbers.
+
+The rule flags assignments (plain, augmented, deletions) inside ``on_*``
+observer methods whose target is rooted at a *hook parameter* or a local
+alias of one.  Writes to ``self`` (the observer's own shadow state) and to
+genuinely local values are the normal checker pattern and stay legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleInfo, Rule, register, root_name
+from repro.lint.rules.hooks import _self_invoked_hooks
+
+
+def _expr_root(node: ast.AST) -> "str | None":
+    return root_name(node)
+
+
+@register
+class HookMutationRule(Rule):
+    id = "PURE001"
+    name = "hook-mutates-observed-state"
+    rationale = (
+        "observer hooks must be read-only: a write to the observed "
+        "component's state makes sanitized/traced runs diverge from bare "
+        "runs, silently invalidating every bit-identity guarantee"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            self_hooks = _self_invoked_hooks(cls)
+            for item in cls.body:
+                if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name.startswith("on_")
+                        and item.name not in self_hooks):
+                    yield from self._check_hook(module, cls.name, item)
+
+    def _check_hook(self, module: ModuleInfo, cls_name: str,
+                    fn: ast.FunctionDef) -> Iterator[Finding]:
+        a = fn.args
+        params = [p.arg for p in (a.posonlyargs + a.args + a.kwonlyargs)]
+        if a.vararg:
+            params.append(a.vararg.arg)
+        if a.kwarg:
+            params.append(a.kwarg.arg)
+        tainted = {p for p in params if p != "self"}
+        if not tainted:
+            return
+
+        for node in ast.walk(fn):
+            # propagate taint through simple local aliases:
+            #   stack = warp.stack      -> writing stack[...] mutates warp
+            if isinstance(node, ast.Assign) and isinstance(node.value,
+                                                           (ast.Name, ast.Attribute)):
+                root = _expr_root(node.value)
+                if root in tainted:
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Name):
+                            tainted.add(tgt.id)
+
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            for tgt in targets:
+                if not isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _expr_root(tgt)
+                if root in tainted:
+                    yield self.finding(
+                        module, tgt,
+                        f"{cls_name}.{fn.name} writes through hook "
+                        f"parameter {root!r}; observer hooks are read-only "
+                        "(mutating observed state breaks the bit-identity "
+                        "contract) — keep shadow state on self instead",
+                    )

@@ -1,0 +1,124 @@
+"""Stats-registry discipline rules (STAT).
+
+:class:`repro.engine.stats.Stats` gives one counter namespace two write
+verbs with different *merge* semantics: ``inc`` accumulates (summed on
+``merge``) while ``set`` writes a gauge (last write wins).  Mixing them on
+one key silently corrupts campaign aggregation, and building keys from
+runtime values defeats ``sorted_dump`` — the byte-stable canonical form
+the determinism regression diffs.
+
+A stats call site is a ``.inc(...)`` / ``.set(...)`` method call whose
+receiver name ends in ``stats`` (``self.stats``, ``mc.stats``,
+``self._stats``) — the naming convention every component in this codebase
+follows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.lint.core import Finding, ModuleInfo, Rule, register
+
+
+@dataclass(frozen=True)
+class StatsWrite:
+    path: str
+    line: int
+    col: int
+    method: str  #: "inc" or "set"
+    key: Optional[str]  #: literal counter key, None when dynamic
+
+
+def _is_stats_receiver(func: ast.Attribute) -> bool:
+    recv = func.value
+    if isinstance(recv, ast.Name):
+        name = recv.id
+    elif isinstance(recv, ast.Attribute):
+        name = recv.attr
+    else:
+        return False
+    return name.lower().lstrip("_").endswith("stats")
+
+
+def collect_stats_writes(module: ModuleInfo) -> list[StatsWrite]:
+    writes: list[StatsWrite] = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("inc", "set")
+                and _is_stats_receiver(node.func)
+                and node.args):
+            continue
+        key_node = node.args[0]
+        key = (key_node.value
+               if isinstance(key_node, ast.Constant)
+               and isinstance(key_node.value, str) else None)
+        writes.append(StatsWrite(module.display_path, node.lineno,
+                                 node.col_offset, node.func.attr, key))
+    return writes
+
+
+@register
+class MixedCounterSemanticsRule(Rule):
+    id = "STAT001"
+    name = "mixed-inc-set"
+    rationale = (
+        "inc() counters are summed on Stats.merge while set() gauges keep "
+        "the last write; one key written both ways aggregates differently "
+        "depending on which write lands last"
+    )
+
+    def __init__(self) -> None:
+        self._writes: list[StatsWrite] = []
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        self._writes.extend(collect_stats_writes(module))
+        return iter(())
+
+    def finish_project(self, modules: Sequence[ModuleInfo]) -> Iterator[Finding]:
+        by_key: dict[str, list[StatsWrite]] = {}
+        for w in self._writes:
+            if w.key is not None:
+                by_key.setdefault(w.key, []).append(w)
+        for key, writes in sorted(by_key.items()):
+            methods = {w.method for w in writes}
+            if methods != {"inc", "set"}:
+                continue
+            incs = [w for w in writes if w.method == "inc"]
+            sets = [w for w in writes if w.method == "set"]
+            for w in sets:
+                other = incs[0]
+                yield Finding(
+                    rule=self.id, path=w.path, line=w.line, col=w.col,
+                    message=(
+                        f"counter {key!r} is set() here but inc()'d at "
+                        f"{other.path}:{other.line}; pick one write verb "
+                        "per key (gauges and counters merge differently)"
+                    ),
+                )
+
+
+@register
+class DynamicCounterKeyRule(Rule):
+    id = "STAT002"
+    name = "non-literal-counter-key"
+    rationale = (
+        "counter keys built from runtime values produce unstable "
+        "namespaces: sorted_dump diffs break, and typos cannot be caught "
+        "statically; keys should be string literals (ScopedStats is the "
+        "sanctioned prefixing mechanism)"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for w in collect_stats_writes(module):
+            if w.key is None:
+                yield Finding(
+                    rule=self.id, path=w.path, line=w.line, col=w.col,
+                    message=(
+                        f"stats.{w.method}() with a non-literal counter key; "
+                        "use a string literal (or suppress where the "
+                        "construction is provably deterministic)"
+                    ),
+                )

@@ -70,6 +70,17 @@ def cmd_layout(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv: list[str] = [str(p) for p in args.paths]
+    if args.json:
+        argv.append("--json")
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    return lint_main(argv)
+
+
 def cmd_arches(args: argparse.Namespace) -> int:
     print(f"{'key':>16s}  description")
     descriptions = {
@@ -122,6 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     a = sub.add_parser("arches", help="list architectures and workloads")
     a.set_defaults(fn=cmd_arches)
+
+    lt = sub.add_parser(
+        "lint",
+        help="simulator-aware static analysis (determinism, observer-hook "
+        "conformance, stats discipline, pickle safety; docs/linting.md)")
+    lt.add_argument("paths", nargs="*", default=[],
+                    help="files/directories (default: the repro package)")
+    lt.add_argument("--json", action="store_true",
+                    help="emit findings as JSON")
+    lt.add_argument("--show-suppressed", action="store_true",
+                    help="also print inline-suppressed findings")
+    lt.set_defaults(fn=cmd_lint)
     return p
 
 

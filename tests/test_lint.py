@@ -1,0 +1,473 @@
+"""repro.lint: every rule fires on a minimal bad fixture, stays silent on
+the matching good fixture, suppressions work, and the self-run on the
+repro package itself is clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import all_rule_classes, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.tools.cli import main as tools_main
+
+
+def lint_source(tmp_path: Path, *sources: str, select=None):
+    """Write each source as its own module and lint the set."""
+    paths = []
+    for i, src in enumerate(sources):
+        p = tmp_path / f"fixture_{i}.py"
+        p.write_text(src)
+        paths.append(p)
+    return lint_paths(paths, select=select)
+
+
+def rule_ids(report) -> list[str]:
+    return [f.rule for f in report.unsuppressed]
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def test_registry_has_all_families():
+    ids = set(all_rule_classes())
+    assert {"DET001", "DET002", "DET003", "HOOK001", "HOOK002",
+            "STAT001", "STAT002", "PICK001", "PICK002", "PURE001"} <= ids
+    for rule_id, cls in all_rule_classes().items():
+        assert cls.id == rule_id
+        assert cls.name and cls.rationale
+
+
+def test_unknown_rule_id_rejected(tmp_path):
+    with pytest.raises(KeyError):
+        lint_source(tmp_path, "x = 1", select=["NOPE999"])
+
+
+# ----------------------------------------------------------------------
+# DET: determinism
+# ----------------------------------------------------------------------
+def test_det001_unseeded_random_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import random\n"
+        "import numpy as np\n"
+        "a = random.randint(0, 9)\n"
+        "b = np.random.rand(4)\n"
+        "rng = np.random.default_rng()\n"
+        "r = random.Random()\n"
+    ))
+    assert rule_ids(report).count("DET001") == 4
+
+
+def test_det001_seeded_random_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "import random\n"
+        "import numpy as np\n"
+        "rng = np.random.default_rng(1234)\n"
+        "r = random.Random(42)\n"
+        "x = rng.integers(0, 9)\n"
+        "y = r.randint(0, 9)\n"
+    ))
+    assert "DET001" not in rule_ids(report)
+
+
+def test_det001_resolves_import_aliases(tmp_path):
+    report = lint_source(tmp_path, (
+        "from random import shuffle\n"
+        "import numpy.random as npr\n"
+        "shuffle([1, 2])\n"
+        "npr.seed(0)\n"
+    ))
+    assert rule_ids(report).count("DET001") == 2
+
+
+def test_det002_wall_clock_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "from datetime import datetime\n"
+        "t = time.time()\n"
+        "d = datetime.now()\n"
+    ))
+    assert rule_ids(report).count("DET002") == 2
+
+
+def test_det002_monotonic_clocks_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "t0 = time.perf_counter()\n"
+        "t1 = time.perf_counter_ns()\n"
+        "t2 = time.monotonic()\n"
+    ))
+    assert "DET002" not in rule_ids(report)
+
+
+def test_det003_set_iteration_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "s = {3, 1, 2}\n"
+        "for x in set([1, 2]):\n"
+        "    print(x)\n"
+        "order = list({'a', 'b'})\n"
+        "pairs = [v for v in frozenset((1, 2))]\n"
+    ))
+    assert rule_ids(report).count("DET003") == 3
+
+
+def test_det003_sorted_iteration_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "for x in sorted(set([1, 2])):\n"
+        "    print(x)\n"
+        "order = sorted({'a', 'b'})\n"
+        "ok = 3 in {1, 2, 3}\n"  # membership tests are order-free
+    ))
+    assert "DET003" not in rule_ids(report)
+
+
+# ----------------------------------------------------------------------
+# HOOK: observer conformance
+# ----------------------------------------------------------------------
+_DISPATCH = (
+    "class Component:\n"
+    "    def __init__(self):\n"
+    "        self.observer = None\n"
+    "    def work(self, entry):\n"
+    "        if self.observer is not None:\n"
+    "            self.observer.on_fill(entry)\n"
+    "    def drain(self, ev):\n"
+    "        obs = self.observer\n"
+    "        if obs is not None:\n"
+    "            obs.on_deliver(ev)\n"
+    "            hook = getattr(obs, 'on_return', None)\n"
+    "            if hook is not None:\n"
+    "                hook(ev)\n"
+)
+
+
+def test_hook001_misspelled_hook_fires(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "class Watcher:\n"
+        "    def on_fil(self, entry):\n"  # typo: silently never fires
+        "        pass\n"
+    ))
+    findings = [f for f in report.unsuppressed if f.rule == "HOOK001"]
+    assert len(findings) == 1
+    assert "on_fil" in findings[0].message
+
+
+def test_hook001_matching_hooks_silent(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "class Watcher:\n"
+        "    def on_fill(self, entry):\n"
+        "        pass\n"
+        "    def on_return(self, ev):\n"  # getattr-dispatched
+        "        pass\n"
+    ))
+    assert "HOOK001" not in rule_ids(report)
+
+
+def test_hook001_self_callback_slots_exempt(tmp_path):
+    # on_finished-style callback slots invoked on self are not observer hooks
+    report = lint_source(tmp_path, _DISPATCH, (
+        "class Proc:\n"
+        "    def on_finished(self):\n"
+        "        pass\n"
+        "    def run(self):\n"
+        "        self.on_finished()\n"
+    ))
+    assert "HOOK001" not in rule_ids(report)
+
+
+def test_hook001_silent_without_any_dispatch_sites(tmp_path):
+    # linting a lone observer module: the vocabulary is unknowable
+    report = lint_source(tmp_path, (
+        "class Watcher:\n"
+        "    def on_anything(self, x):\n"
+        "        pass\n"
+    ))
+    assert "HOOK001" not in rule_ids(report)
+
+
+def test_hook002_arity_mismatch_fires(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "class Watcher:\n"
+        "    def on_fill(self, entry, extra):\n"  # sites pass 1 arg
+        "        pass\n"
+    ))
+    findings = [f for f in report.unsuppressed if f.rule == "HOOK002"]
+    assert len(findings) == 1
+    assert "passes 1" in findings[0].message
+
+
+def test_hook002_compatible_signatures_silent(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "class A:\n"
+        "    def on_fill(self, entry):\n"
+        "        pass\n"
+        "class B:\n"
+        "    def on_fill(self, *args):\n"  # varargs accept anything
+        "        pass\n"
+        "class C:\n"
+        "    def on_fill(self, entry, extra=None):\n"  # default absorbs
+        "        pass\n"
+    ))
+    assert "HOOK002" not in rule_ids(report)
+
+
+def test_hook_rules_know_real_dispatch_vocabulary(tmp_path):
+    """Observer classes against the real src/repro dispatch sites."""
+    bad = tmp_path / "bad_observer.py"
+    bad.write_text(
+        "class MyObserver:\n"
+        "    def on_warp_instr(self, warp):\n"      # real hook, 1 arg: ok
+        "        pass\n"
+        "    def on_warp_instrs(self, warp):\n"     # typo
+        "        pass\n"
+        "    def on_consume(self, a, b, c):\n"      # real sites pass 2
+        "        pass\n"
+    )
+    pkg = Path(repro.__file__).parent
+    report = lint_paths([pkg, bad])
+    mine = [f for f in report.unsuppressed if f.path == str(bad)]
+    assert sorted(f.rule for f in mine) == ["HOOK001", "HOOK002"]
+
+
+# ----------------------------------------------------------------------
+# STAT: stats discipline
+# ----------------------------------------------------------------------
+def test_stat001_mixed_inc_set_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "class A:\n"
+        "    def f(self):\n"
+        "        self.stats.inc('dram.rows')\n"
+    ), (
+        "class B:\n"
+        "    def g(self):\n"
+        "        self.stats.set('dram.rows', 5)\n"  # gauge vs counter
+    ))
+    findings = [f for f in report.unsuppressed if f.rule == "STAT001"]
+    assert len(findings) == 1
+    assert "dram.rows" in findings[0].message
+
+
+def test_stat001_consistent_verbs_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "class A:\n"
+        "    def f(self):\n"
+        "        self.stats.inc('hits')\n"
+        "        self.stats.inc('hits', 2)\n"
+        "        self.stats.set('final_hz', 7e8)\n"
+        "        self.stats.set('final_hz', 6e8)\n"
+    ))
+    assert "STAT001" not in rule_ids(report)
+
+
+def test_stat002_dynamic_key_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "class A:\n"
+        "    def f(self, name):\n"
+        "        self.stats.inc(f'dram.{name}')\n"
+        "        self.stats.set('prefix' + name, 1)\n"
+    ))
+    assert rule_ids(report).count("STAT002") == 2
+
+
+def test_stat002_literal_keys_and_non_stats_receivers_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "class A:\n"
+        "    def f(self, key):\n"
+        "        self.stats.inc('hits')\n"
+        "        self.config.set(key, 1)\n"  # not a stats registry
+    ))
+    assert "STAT002" not in rule_ids(report)
+
+
+# ----------------------------------------------------------------------
+# PICK: pickle/multiprocess safety
+# ----------------------------------------------------------------------
+def test_pick001_lambda_into_run_batch_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "from repro.sim.campaign import run_batch\n"
+        "def sweep(specs):\n"
+        "    return run_batch(specs, key=lambda s: s.arch)\n"
+    ))
+    assert "PICK001" in rule_ids(report)
+
+
+def test_pick001_local_function_into_pool_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "def sweep(pool, items):\n"
+        "    def worker(item):\n"
+        "        return item * 2\n"
+        "    return list(pool.imap_unordered(worker, items))\n"
+    ))
+    assert "PICK001" in rule_ids(report)
+
+
+def test_pick001_parent_side_progress_callback_exempt(tmp_path):
+    # progress= and cache= are documented parent-side-only
+    report = lint_source(tmp_path, (
+        "from repro.sim.campaign import run_batch\n"
+        "def sweep(specs):\n"
+        "    return run_batch(specs, workers=2, progress=lambda ev: print(ev))\n"
+    ))
+    assert "PICK001" not in rule_ids(report)
+
+
+def test_pick001_module_level_worker_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "def worker(item):\n"
+        "    return item * 2\n"
+        "def sweep(pool, items):\n"
+        "    return list(pool.imap_unordered(worker, items))\n"
+    ))
+    assert "PICK001" not in rule_ids(report)
+
+
+def test_pick002_global_rebinding_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "COUNT = 0\n"
+        "def worker(item):\n"
+        "    global COUNT\n"
+        "    COUNT += 1\n"
+        "    return item\n"
+    ))
+    assert "PICK002" in rule_ids(report)
+
+
+def test_pick002_parameter_passing_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "def worker(item, memo):\n"
+        "    memo[item] = item * 2\n"
+        "    return memo[item]\n"
+    ))
+    assert "PICK002" not in rule_ids(report)
+
+
+# ----------------------------------------------------------------------
+# PURE: event-handler purity
+# ----------------------------------------------------------------------
+def test_pure001_hook_mutating_component_fires(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "class Watcher:\n"
+        "    def on_fill(self, entry):\n"
+        "        entry.filled = True\n"          # direct write
+        "    def on_deliver(self, ev):\n"
+        "        args = ev.args\n"
+        "        args[0] = None\n"               # write through alias
+    ))
+    assert rule_ids(report).count("PURE001") == 2
+
+
+def test_pure001_shadow_state_on_self_silent(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "class Watcher:\n"
+        "    def __init__(self):\n"
+        "        self.shadow = {}\n"
+        "        self.count = 0\n"
+        "    def on_fill(self, entry):\n"
+        "        self.count += 1\n"
+        "        self.shadow[entry.row] = list(entry.consumed)\n"
+        "        sh = self.shadow[entry.row]\n"
+        "        sh[0] += 1\n"                   # copy, not the component
+    ))
+    assert "PURE001" not in rule_ids(report)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_same_line_suppression(tmp_path):
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "t = time.time()  # repro-lint: disable=DET002\n"
+    ))
+    assert report.ok
+    assert len(report.findings) == 1 and report.findings[0].suppressed
+
+
+def test_standalone_comment_suppresses_next_line(tmp_path):
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "# repro-lint: disable=DET002\n"
+        "t = time.time()\n"
+    ))
+    assert report.ok and report.findings[0].suppressed
+
+
+def test_disable_all_and_wrong_rule(tmp_path):
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "a = time.time()  # repro-lint: disable=all\n"
+        "b = time.time()  # repro-lint: disable=DET001\n"  # wrong id
+    ))
+    assert [f.suppressed for f in report.findings] == [True, False]
+    assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# the self-run: the package must hold itself to these rules
+# ----------------------------------------------------------------------
+def test_self_run_on_repro_package_is_clean():
+    pkg = Path(repro.__file__).parent
+    report = lint_paths([pkg])
+    assert report.errors == []
+    assert report.unsuppressed == [], "\n".join(
+        f.text() for f in report.unsuppressed)
+    # the suppressions that do exist are deliberate and documented
+    assert all(f.suppressed for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+
+    assert lint_main([str(good)]) == 0
+    assert lint_main([str(bad)]) == 1
+    assert lint_main([str(tmp_path / "missing.py")]) == 2
+    assert lint_main(["--select", "NOPE1", str(good)]) == 2
+    capsys.readouterr()
+
+    assert lint_main(["--json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files"] == 1 and not payload["ok"]
+    assert payload["summary"] == {"DET002": 1}
+    assert payload["findings"][0]["rule"] == "DET002"
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in all_rule_classes():
+        assert rule_id in out
+
+
+def test_cli_select_and_ignore(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert lint_main(["--select", "DET001", str(bad)]) == 0
+    assert lint_main(["--ignore", "DET002", str(bad)]) == 0
+    assert lint_main(["--select", "DET002", str(bad)]) == 1
+
+
+def test_cli_reports_syntax_errors(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    assert lint_main([str(broken)]) == 1
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_tools_cli_lint_subcommand(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert tools_main(["lint", str(good)]) == 0
+    capsys.readouterr()
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert tools_main(["lint", "--json", str(bad)]) == 1
+    assert json.loads(capsys.readouterr().out)["summary"] == {"DET002": 1}

@@ -9,10 +9,35 @@ simulations, not microbenchmarks).
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
 
 #: records per benchmark for the CI-speed figure regenerations
 FAST_RECORDS = 4096
+
+#: the interpreter-backend perf trajectory file (ROADMAP item 3): each
+#: benchmark session merges its section; CI uploads it as an artifact
+BENCH_INTERP_PATH = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+
+
+def record_bench(section: str, payload: dict) -> Path:
+    """Merge one named section into ``BENCH_interp.json``.
+
+    Sections are replaced wholesale (a re-run overwrites its own numbers,
+    never another benchmark's), so interp and campaign benchmarks can
+    land in either order."""
+    data: dict = {}
+    if BENCH_INTERP_PATH.exists():
+        data = json.loads(BENCH_INTERP_PATH.read_text())
+    data["schema"] = 1
+    data["generated_unix"] = time.time()
+    data[section] = payload
+    BENCH_INTERP_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return BENCH_INTERP_PATH
 
 
 @pytest.fixture

@@ -9,10 +9,13 @@ stays bounded.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from conftest import FAST_RECORDS, run_once
+from conftest import FAST_RECORDS, record_bench, run_once
 from repro.sim.campaign import cross, run_batch
+from repro.sim.options import ExecOptions
 
 ARCHES = ["gpgpu", "ssmc", "millipede"]
 BENCHES = ["count", "variance", "kmeans"]
@@ -39,3 +42,37 @@ def test_batch_two_workers_identical(benchmark, fast_records, serial_batch):
         assert a.finish_ps == b.finish_ps
         assert a.collected == b.collected
         assert a.stats == b.stats
+
+
+def test_batch_vector_backend_identical(benchmark, fast_records, serial_batch):
+    """The same Fig.-3-shaped sweep through the fast backend: identical
+    results, and both batch wall-clocks land in ``BENCH_interp.json``
+    (the campaign-serving numbers the backend exists to improve)."""
+    specs, serial = serial_batch
+
+    t0 = time.perf_counter()
+    reference = run_batch(
+        cross(ARCHES, BENCHES, n_records=fast_records), workers=1)
+    t_ref = time.perf_counter() - t0
+
+    vec_specs = cross(ARCHES, BENCHES, n_records=fast_records,
+                      options=ExecOptions(backend="vector"))
+    t0 = time.perf_counter()
+    vector = run_once(benchmark, run_batch, vec_specs, workers=1)
+    t_vec = time.perf_counter() - t0
+
+    for a, b in zip(serial, vector):
+        assert a.finish_ps == b.finish_ps
+        assert a.collected == b.collected
+        assert a.stats == b.stats
+    assert len(reference) == len(vector)
+
+    record_bench("campaign", {
+        "arches": ARCHES,
+        "benches": BENCHES,
+        "n_records": fast_records,
+        "workers": 1,
+        "reference_s": round(t_ref, 4),
+        "vector_s": round(t_vec, 4),
+        "speedup": round(t_ref / t_vec, 3),
+    })

@@ -1,0 +1,75 @@
+"""Interpreter-backend benchmark: reference vs ``vector`` wall-clock.
+
+Runs every registered workload on Millipede at its *default* input size
+under both execution backends, asserts bit-identical results (the
+backends' contract, see ``docs/backends.md``), and records the
+per-workload wall-clock pairs into ``BENCH_interp.json`` — the perf
+trajectory file ROADMAP item 3 calls for.  The final test enforces the
+headline acceptance gate: at least one workload must speed up >= 3x.
+
+Expected shape: the win tracks compute density.  gda/pca (hundreds of
+ALU ops per input word) gain the most — the vector backend executes
+those ops once, batched across all 128 threads, and replays cheap gap
+counters.  sample/count sit at the other end: nearly every cycle
+involves the memory system, whose event-driven model runs either way.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from conftest import record_bench, run_once
+from repro.sim.driver import run
+from repro.sim.options import ExecOptions
+from repro.sim.spec import RunSpec
+from repro.workloads.registry import workload_names
+
+ARCH = "millipede"
+
+#: filled per-workload by the timing tests, written by test_record_json
+_TIMES: dict[str, dict] = {}
+
+
+def _fingerprint(r) -> bytes:
+    return pickle.dumps((r.finish_ps, r.collected, r.stats, r.reduced,
+                         r.energy.total_j, r.validated))
+
+
+def _time_both(wl: str) -> dict:
+    t0 = time.perf_counter()
+    ref = run(RunSpec(ARCH, wl))
+    t_ref = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vec = run(RunSpec(ARCH, wl, options=ExecOptions(backend="vector")))
+    t_vec = time.perf_counter() - t0
+    assert _fingerprint(ref) == _fingerprint(vec), (
+        f"{wl}: vector backend result differs from reference")
+    return {
+        "n_records": ref.n_records,
+        "reference_s": round(t_ref, 4),
+        "vector_s": round(t_vec, 4),
+        "speedup": round(t_ref / t_vec, 3),
+    }
+
+
+@pytest.mark.parametrize("wl", workload_names())
+def test_interp_backend(benchmark, wl):
+    _TIMES[wl] = run_once(benchmark, _time_both, wl)
+
+
+def test_record_json(benchmark):
+    if set(_TIMES) != set(workload_names()):
+        pytest.skip("recorder needs the whole module's timing tests")
+    path = record_bench("interp", {
+        "arch": ARCH,
+        "workloads": _TIMES,
+        "best_speedup": max(t["speedup"] for t in _TIMES.values()),
+    })
+    best = max(_TIMES.values(), key=lambda t: t["speedup"])
+    # the ISSUE-6 acceptance gate: >= 3x on at least one workload at its
+    # default input size
+    assert best["speedup"] >= 3.0, (
+        f"fast backend best speedup {best['speedup']}x < 3x ({path})")

@@ -15,6 +15,15 @@ out over worker processes (deduplicated + disk-cached) by ``run_batch``:
 >>> specs = [RunSpec(a, "count") for a in ("ssmc", "millipede")]
 >>> results = run_batch(specs, workers=4)                # doctest: +SKIP
 
+Execution knobs (validation, sanitizer, tracer, and the fast ``vector``
+backend - see ``docs/backends.md``) travel as one frozen
+:class:`ExecOptions` value; :mod:`repro.api` is the facade built around
+it:
+
+>>> from repro import ExecOptions, api
+>>> r = api.run("millipede", "count",
+...             options=ExecOptions(backend="vector"))   # doctest: +SKIP
+
 The package layers:
 
 * :mod:`repro.engine`    - discrete-event simulation kernel
@@ -33,27 +42,31 @@ The package layers:
 * :mod:`repro.experiments` - regenerates every table and figure
 """
 
+from repro import api
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sanitize import InvariantViolation, SimSanitizer
 from repro.sim.campaign import BatchProgress, run_batch
 from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 from repro.trace import SimTracer, TraceResult
 from repro.workloads.registry import get_workload, workload_names
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SystemConfig",
     "ARCHITECTURES",
     "BatchProgress",
+    "ExecOptions",
     "InvariantViolation",
     "RunResult",
     "RunSpec",
     "SimSanitizer",
     "SimTracer",
     "TraceResult",
+    "api",
     "run",
     "run_batch",
     "run_many",

@@ -1,0 +1,118 @@
+"""repro.api: the coherent entry-point facade.
+
+One import gives the three ways to run simulations, all speaking the
+same vocabulary — a *what* (arch, workload, config, n_records, seed) and
+a *how* (:class:`~repro.sim.options.ExecOptions`):
+
+>>> from repro import api
+>>> from repro.sim.options import ExecOptions
+>>> r = api.run("millipede", "count", n_records=2048)       # doctest: +SKIP
+>>> fast = ExecOptions(backend="vector")
+>>> r = api.run("millipede", "count", options=fast)         # doctest: +SKIP
+>>> grid = api.sweep(["ssmc", "millipede"], ["count", "kmeans"],
+...                  options=fast, workers=4)               # doctest: +SKIP
+>>> grid[("millipede", "count")].validated                  # doctest: +SKIP
+True
+
+Execution options travel as one frozen value instead of a trail of
+boolean arguments, so adding an axis (as the ``backend`` axis was) never
+widens these signatures again.  The pre-redesign entry points —
+:func:`repro.sim.driver.run`, :func:`repro.sim.driver.run_many`, and
+:func:`repro.experiments.common.cached_run` — remain as compatibility
+shims over the same machinery; new code should start here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.cache import ResultCache
+from repro.sim.campaign import run_batch as _campaign_run_batch
+from repro.sim.driver import RunResult, run as _driver_run
+from repro.sim.options import ExecOptions
+from repro.sim.spec import RunSpec
+from repro.workloads.base import Workload
+from repro.workloads.registry import workload_names
+
+__all__ = ["ExecOptions", "RunSpec", "RunResult", "run", "run_batch", "sweep"]
+
+
+def run(
+    arch: Union[str, RunSpec],
+    workload: Union[str, Workload, None] = None,
+    *,
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    seed: int = 0,
+    options: Optional[ExecOptions] = None,
+) -> RunResult:
+    """Simulate one configuration and validate the result.
+
+    ``run(RunSpec(...))`` runs a prepared spec; ``run(arch, workload)``
+    builds one from the *what* arguments plus ``options`` (defaulting to
+    ``ExecOptions()``: validated, reference backend, no sanitizer/tracer).
+    """
+    if isinstance(arch, RunSpec):
+        if options is not None:
+            raise TypeError(
+                "run(RunSpec) carries its own options; "
+                "use spec.replace(options=...) to change them"
+            )
+        return _driver_run(arch)
+    return _driver_run(
+        arch, workload, config=config, n_records=n_records, seed=seed,
+        options=options if options is not None else ExecOptions(),
+    )
+
+
+def run_batch(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress=None,
+) -> list[RunResult]:
+    """Run many specs with dedup, optional disk cache, and fan-out.
+
+    Results come back in ``specs`` order.  This is
+    :func:`repro.sim.campaign.run_batch` re-exported under the facade;
+    see that module for the dedup/cache/progress contract.
+    """
+    if cache is not None and not isinstance(cache, ResultCache):
+        raise TypeError(
+            f"cache must be a ResultCache or None, got {type(cache).__name__}"
+            " (caching is off by default; pass a ResultCache to enable it)"
+        )
+    return _campaign_run_batch(specs, workers=workers, cache=cache,
+                               progress=progress)
+
+
+def sweep(
+    arches: Sequence[str],
+    workloads: Optional[Sequence[str]] = None,
+    *,
+    config: SystemConfig = DEFAULT_CONFIG,
+    n_records: Optional[int] = None,
+    seed: int = 0,
+    options: Optional[ExecOptions] = None,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> dict[tuple[str, str], RunResult]:
+    """Run the arch × workload cross product; results keyed ``(arch, wl)``.
+
+    ``workloads`` defaults to all eight registered benchmarks.  The grid
+    is workload-major (the figures' iteration order) and shares
+    :func:`run_batch`'s dedup/cache machinery.
+    """
+    if workloads is None:
+        workloads = workload_names()
+    opts = options if options is not None else ExecOptions()
+    specs = [
+        RunSpec(a, wl, config=config, n_records=n_records, seed=seed,
+                options=opts)
+        for wl in workloads
+        for a in arches
+    ]
+    results = run_batch(specs, workers=workers, cache=cache)
+    return {(s.arch, s.workload): r for s, r in zip(specs, results)}

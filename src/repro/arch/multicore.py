@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 from repro.config import SystemConfig, WORD_BYTES
 from repro.core.corelet import MimdCore
+from repro.core.replay import ReplayMixin, build_plan
 from repro.dram.controller import DramRequest, MemoryController
 from repro.dram.dram import GlobalMemory
 from repro.engine.clock import Clock
@@ -74,6 +75,10 @@ class _XeonCore(MimdCore):
         self.prefetcher.demand_access(acc.addr, on_ready)
 
 
+class _ReplayXeonCore(ReplayMixin, _XeonCore):
+    """Vector-backend multicore context bundle: trace-replay loop."""
+
+
 class MulticoreProcessor:
     """The full 8-core node (one shared off-chip channel)."""
 
@@ -88,6 +93,7 @@ class MulticoreProcessor:
         input_base_word: int,
         input_end_word: int,
         layout=None,
+        backend: str = "reference",
     ):
         # layout (an InterleavedLayout) enables the oracle stream prefetch
         # schedule the paper grants the MIMD baselines ("100%-accurate
@@ -96,7 +102,13 @@ class MulticoreProcessor:
         self.engine = engine
         self.config = config
         self.program = program
+        self.global_mem = global_mem
         self.stats = stats
+        if backend not in ("reference", "vector"):
+            raise ValueError(f"unknown processor backend {backend!r}")
+        self.backend = backend
+        self._thread_args = None
+        self._initial_state = None
         mcfg = config.multicore
 
         # micro-cycle trick: clock x issue_width, gap = issue_width
@@ -146,7 +158,8 @@ class MulticoreProcessor:
                 name=f"mc_l1_{core_id}", degree=4,
                 schedule=schedule,
             )
-            core = _XeonCore(
+            core_cls = _ReplayXeonCore if backend == "vector" else _XeonCore
+            core = core_cls(
                 engine,
                 program,
                 core_like,
@@ -163,6 +176,7 @@ class MulticoreProcessor:
     # ------------------------------------------------------------------
     def load_initial_state(self, state) -> None:
         """Preload every thread's live-state partition with constants."""
+        self._initial_state = state
         n_threads = self.config.multicore.n_threads
         for c in self.cores:
             if len(state) > c.state_words:
@@ -175,6 +189,7 @@ class MulticoreProcessor:
                 c.local_mem.data[lo : lo + len(state)] = state
 
     def set_thread_args(self, args_per_thread: list[dict[int, float]]) -> None:
+        self._thread_args = args_per_thread
         n_threads = self.config.multicore.n_threads
         expected = self.config.multicore.n_cores * n_threads
         if len(args_per_thread) != expected:
@@ -183,6 +198,12 @@ class MulticoreProcessor:
             self.cores[g // n_threads].set_thread_args(g % n_threads, args)
 
     def start(self) -> None:
+        if self.backend == "vector":
+            # the micro-cycle trick leaves n_registers on the shared core
+            # config; the functional phase only needs registers + state
+            plan = build_plan(self, self.config.core.n_registers)
+            for c in self.cores:
+                c.load_plan(plan)
         for c in self.cores:
             c.start()
 

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from repro.config import SystemConfig, WORD_BYTES
 from repro.core.corelet import MimdCore
+from repro.core.replay import ReplayMixin, build_plan
 from repro.dram.controller import MemoryController
 from repro.dram.dram import GlobalMemory
 from repro.engine.clock import Clock
@@ -56,6 +57,10 @@ class _SsmcCore(MimdCore):
         self.prefetcher.demand_access(acc.addr, on_ready)
 
 
+class _ReplaySsmcCore(ReplayMixin, _SsmcCore):
+    """Vector-backend SSMC core: L1D+prefetcher port, trace-replay loop."""
+
+
 class SsmcProcessor:
     """One 32-core SSMC processor on one die-stacked channel."""
 
@@ -70,6 +75,7 @@ class SsmcProcessor:
         input_base_word: int,
         input_end_word: int,
         layout=None,
+        backend: str = "reference",
     ):
         # layout (an InterleavedLayout) enables the oracle stream prefetch
         # schedule the paper grants the MIMD baselines ("100%-accurate
@@ -80,6 +86,11 @@ class SsmcProcessor:
         self.program = program
         self.global_mem = global_mem
         self.stats = stats
+        if backend not in ("reference", "vector"):
+            raise ValueError(f"unknown processor backend {backend!r}")
+        self.backend = backend
+        self._thread_args = None
+        self._initial_state = None
 
         core_cfg = config.core
         scfg = config.ssmc
@@ -129,7 +140,8 @@ class SsmcProcessor:
                 name=f"l1d{core_id}", degree=scfg.prefetch_degree,
                 schedule=schedule,
             )
-            core = _SsmcCore(
+            core_cls = _ReplaySsmcCore if backend == "vector" else _SsmcCore
+            core = core_cls(
                 engine,
                 program,
                 core_cfg,
@@ -146,6 +158,7 @@ class SsmcProcessor:
     # ------------------------------------------------------------------
     def load_initial_state(self, state) -> None:
         """Preload every thread's live-state partition with constants."""
+        self._initial_state = state
         n_threads = self.config.core.n_threads
         for c in self.cores:
             if len(state) > c.state_words:
@@ -158,6 +171,7 @@ class SsmcProcessor:
                 c.local_mem.data[lo : lo + len(state)] = state
 
     def set_thread_args(self, args_per_thread: list[dict[int, float]]) -> None:
+        self._thread_args = args_per_thread
         n_threads = self.config.core.n_threads
         expected = self.config.core.n_cores * n_threads
         if len(args_per_thread) != expected:
@@ -166,6 +180,10 @@ class SsmcProcessor:
             self.cores[g // n_threads].set_thread_args(g % n_threads, args)
 
     def start(self) -> None:
+        if self.backend == "vector":
+            plan = build_plan(self, self.config.core.n_registers)
+            for c in self.cores:
+                c.load_plan(plan)
         for c in self.cores:
             c.start()
 

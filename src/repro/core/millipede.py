@@ -26,6 +26,7 @@ from repro.config import SystemConfig, WORD_BYTES
 from repro.core.corelet import MimdCore
 from repro.core.flow_control import BarrierCoordinator
 from repro.core.rate_match import RateMatchController
+from repro.core.replay import ReplayMixin, build_plan
 from repro.dram.controller import MemoryController
 from repro.dram.dram import GlobalMemory
 from repro.engine.clock import Clock
@@ -60,6 +61,10 @@ class _MillipedeCorelet(MimdCore):
         self.barrier.arrive(self, slot)
 
 
+class _ReplayMillipedeCorelet(ReplayMixin, _MillipedeCorelet):
+    """Vector-backend corelet: prefetch-buffer port, trace-replay loop."""
+
+
 class MillipedeProcessor:
     """One Millipede processor attached to one die-stacked channel."""
 
@@ -74,12 +79,18 @@ class MillipedeProcessor:
         input_base_word: int,
         input_end_word: int,
         layout=None,
+        backend: str = "reference",
     ):
         self.engine = engine
         self.config = config
         self.program = program
         self.global_mem = global_mem
         self.stats = stats
+        if backend not in ("reference", "vector"):
+            raise ValueError(f"unknown processor backend {backend!r}")
+        self.backend = backend
+        self._thread_args = None
+        self._initial_state = None
 
         core_cfg = config.core
         mcfg = config.millipede
@@ -121,8 +132,10 @@ class MillipedeProcessor:
         self._done_count = 0
         self.finish_ps: Optional[int] = None
         self.on_finished: Optional[Callable[[], None]] = None
+        corelet_cls = (_ReplayMillipedeCorelet if backend == "vector"
+                       else _MillipedeCorelet)
         self.corelets = [
-            _MillipedeCorelet(
+            corelet_cls(
                 engine,
                 program,
                 core_cfg,
@@ -144,6 +157,7 @@ class MillipedeProcessor:
     def load_initial_state(self, state) -> None:
         """Preload every thread's live-state partition (host copy-in of
         constants such as centroids, section IV-E)."""
+        self._initial_state = state
         n_threads = self.config.core.n_threads
         for c in self.corelets:
             if len(state) > c.state_words:
@@ -159,6 +173,7 @@ class MillipedeProcessor:
         """Distribute kernel ABI registers; global thread *g* runs on
         corelet ``g // n_threads``, context ``g % n_threads`` - so the four
         contexts of a corelet process records whose row slabs coincide."""
+        self._thread_args = args_per_thread
         n_threads = self.config.core.n_threads
         expected = self.config.core.n_cores * n_threads
         if len(args_per_thread) != expected:
@@ -167,6 +182,10 @@ class MillipedeProcessor:
             self.corelets[g // n_threads].set_thread_args(g % n_threads, args)
 
     def start(self) -> None:
+        if self.backend == "vector":
+            plan = build_plan(self, self.config.core.n_registers)
+            for c in self.corelets:
+                c.load_plan(plan)
         row_words = self.config.dram.row_words
         self.prefetch_buffer.start(
             self._input_base // row_words,

@@ -10,6 +10,7 @@ from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim.cache import ResultCache
 from repro.sim.campaign import cross, run_batch
 from repro.sim.driver import RunResult
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 from repro.workloads.registry import workload_names
 
@@ -43,11 +44,20 @@ def cached_run(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir: Optional["Path | str"] = None,
+    backend: str = "reference",
+    options: Optional[ExecOptions] = None,
 ) -> RunResult:
-    """`run` with optional disk caching keyed on the full configuration."""
+    """`run` with optional disk caching keyed on the full configuration.
+
+    ``options`` supersedes the flat ``sanitize``/``trace``/``backend``
+    shims (mixing the two is an error)."""
+    if options is None:
+        options = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
+    elif (sanitize, trace, backend) != (False, False, "reference"):
+        raise TypeError("cached_run(): pass either options= or flat flags, not both")
     spec = RunSpec(arch, workload, config=config, n_records=n_records, seed=seed,
-                   sanitize=sanitize, trace=trace)
-    writer = _trace_progress(trace_dir if trace else None)
+                   options=options)
+    writer = _trace_progress(trace_dir if options.trace else None)
     out = run_batch([spec], workers=1, cache=cache, progress=writer)[0]
     if writer is not None:
         writer.finish()
@@ -82,11 +92,20 @@ def sweep(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir: Optional["Path | str"] = None,
+    backend: str = "reference",
+    options: Optional[ExecOptions] = None,
 ) -> dict[str, dict[str, RunResult]]:
-    """results[workload][arch] for the full cross product."""
+    """results[workload][arch] for the full cross product.
+
+    ``options`` supersedes the flat ``sanitize``/``trace``/``backend``
+    shims (mixing the two is an error)."""
+    if options is None:
+        options = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
+    elif (sanitize, trace, backend) != (False, False, "reference"):
+        raise TypeError("sweep(): pass either options= or flat flags, not both")
     specs = cross(arches, benches, config=config, n_records=n_records, seed=seed,
-                  sanitize=sanitize, trace=trace)
-    writer = _trace_progress(trace_dir if trace else None)
+                  options=options)
+    writer = _trace_progress(trace_dir if options.trace else None)
     results = run_batch(specs, workers=workers, cache=cache, progress=writer)
     if writer is not None:
         writer.finish()

@@ -36,10 +36,11 @@ def run_experiment(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir=None,
+    backend: str = "reference",
 ) -> ExperimentResult:
     results = sweep(FIG3_ARCHES, BENCHES, config, n_records, cache,
                     workers=workers, sanitize=sanitize, trace=trace,
-                    trace_dir=trace_dir)
+                    trace_dir=trace_dir, backend=backend)
 
     rows = []
     for wl in BENCHES:

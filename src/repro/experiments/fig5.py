@@ -22,6 +22,7 @@ from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.common import BENCHES, ExperimentResult, batch_run, geomean
 from repro.mapreduce.host import node_reduce_seconds
 from repro.sim.cache import ResultCache
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 
 PAPER_ENERGY_DELAY = 125.0
@@ -35,10 +36,12 @@ def run_experiment(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir=None,
+    backend: str = "reference",
 ) -> ExperimentResult:
+    opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {
         (a, wl): RunSpec(a, wl, config=config, n_records=n_records,
-                         sanitize=sanitize, trace=trace)
+                         options=opts)
         for wl in BENCHES
         for a in ("millipede-rm", "multicore")
     }

@@ -13,6 +13,7 @@ from typing import Optional
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.common import BENCHES, ExperimentResult, batch_run, geomean
 from repro.sim.cache import ResultCache
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 
 SIZES = [32, 64]
@@ -27,12 +28,13 @@ def run_experiment(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir=None,
+    backend: str = "reference",
 ) -> ExperimentResult:
+    opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     # one batch across both system sizes (specs carry their own config)
     specs = {
         (size, a, wl): RunSpec(a, wl, config=config.scaled_system_size(size),
-                               n_records=n_records, sanitize=sanitize,
-                               trace=trace)
+                               n_records=n_records, options=opts)
         for size in SIZES
         for wl in BENCHES
         for a in ARCHES

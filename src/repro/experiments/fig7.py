@@ -17,6 +17,7 @@ from typing import Optional
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.common import ExperimentResult, batch_run, geomean
 from repro.sim.cache import ResultCache
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 
 ENTRY_COUNTS = [2, 4, 8, 16, 32]
@@ -33,7 +34,9 @@ def run_experiment(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir=None,
+    backend: str = "reference",
 ) -> ExperimentResult:
+    opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {}
     for entries in ENTRY_COUNTS:
         cfg = config.with_millipede(
@@ -42,8 +45,7 @@ def run_experiment(
         )
         for wl in FIG7_BENCHES:
             specs[entries, wl] = RunSpec("millipede", wl, config=cfg,
-                                         n_records=n_records,
-                                         sanitize=sanitize, trace=trace)
+                                         n_records=n_records, options=opts)
     batch = batch_run(list(specs.values()), cache=cache, workers=workers,
                       trace_dir=trace_dir if trace else None)
     tput: dict[str, dict[int, float]] = {wl: {} for wl in FIG7_BENCHES}

@@ -65,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
         "results, slower, and traced runs bypass the result cache",
     )
     p.add_argument(
+        "--backend",
+        choices=["reference", "calendar", "vector"],
+        default="reference",
+        help="execution backend for every simulation (docs/backends.md); "
+        "all three produce bit-identical results - 'vector' replays "
+        "NumPy-batched instruction traces and 'calendar' swaps the event "
+        "heap for a calendar queue, both for wall-clock speed",
+    )
+    p.add_argument(
         "--no-cache",
         action="store_true",
         help="re-simulate even if a cached result exists",
@@ -106,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
             sanitize=args.sanitize,
             trace=trace_dir is not None,
             trace_dir=trace_dir / name if trace_dir is not None else None,
+            backend=args.backend,
         )
         results.append(res)
         print(res.text())

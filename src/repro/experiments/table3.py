@@ -43,6 +43,7 @@ def run_experiment(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir=None,
+    backend: str = "reference",
 ) -> ExperimentResult:
     rows = [[name, paper, get(config)] for name, paper, get in _ROWS]
     return ExperimentResult(

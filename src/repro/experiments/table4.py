@@ -16,6 +16,7 @@ from typing import Optional
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.common import BENCHES, ExperimentResult, batch_run
 from repro.sim.cache import ResultCache
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 
 #: the paper's Table IV
@@ -39,10 +40,12 @@ def run_experiment(
     sanitize: bool = False,
     trace: bool = False,
     trace_dir=None,
+    backend: str = "reference",
 ) -> ExperimentResult:
+    opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {
         (a, wl): RunSpec(a, wl, config=config, n_records=n_records,
-                         sanitize=sanitize, trace=trace)
+                         options=opts)
         for wl in BENCHES
         for a in ("ssmc", "millipede-rm")
     }

@@ -1,0 +1,447 @@
+"""NumPy batch functional executor (the ``vector`` backend's first phase).
+
+The reference simulator interprets one instruction per
+:func:`repro.isa.executor.step_one` call inside the event loop.  That is
+exact but slow: interpretation dominates the host profile.  This module
+exploits a structural property of every BMLA kernel to pull the *functional*
+work out of the event loop entirely:
+
+**threads never share mutable state.**  Global memory is read-only input
+(``stg`` is not implemented, section IV-E), and live state lives in
+thread-private scratchpad partitions.  Therefore each thread's functional
+trajectory — every register value, branch outcome, and memory address —
+is fully determined by its start state and is *independent of all timing*.
+
+So the ``vector`` backend splits a run in two phases:
+
+1. **Functional phase (here):** execute all ``T`` hardware threads in
+   lockstep as NumPy column operations.  Threads are grouped by PC
+   (most-populated PC first); the straight-line basic block at that PC
+   (boundaries from :func:`repro.isa.cfg.leader_pcs`) runs as one batched
+   column op per instruction across the whole group.  The output is a
+   :class:`VectorPlan`: per-thread instruction *traces* plus final local
+   memory and per-thread counters.
+2. **Timing phase (:mod:`repro.core.replay`):** the event-driven core
+   model re-runs with the per-instruction interpreter replaced by trace
+   consumption — identical issue order, identical event schedule,
+   identical statistics, at a fraction of the per-issue cost.
+
+Traces
+------
+A thread's trace alternates *gaps* and *events*: ``gaps[i]`` pure issues
+(ALU, branches, jumps, local loads/stores — everything the core handles
+inline in one cycle) precede event ``i``, which is one of
+
+=========  ========================================================
+``K_LDG``  a global load issue; ``addrs[i]`` is the word address the
+           core must demand from its input port
+``K_BAR``  a software-barrier issue (rendezvous via the coordinator)
+``K_HALT`` the thread's final issue; always last
+=========  ========================================================
+
+Every gap unit and every event is exactly one issued instruction, so
+``sum(gaps) + len(kinds)`` equals the thread's dynamic instruction count.
+
+Exactness
+---------
+Column ops are written to match the scalar interpreter bit-for-bit on
+IEEE-754 float64: ``min``/``max`` via ``np.where`` (propagates the scalar
+``a if a < b else b`` choice exactly), integer ops via truncating int64
+casts with NumPy's floor-division/remainder (Python semantics), and error
+parity for the reference's failure modes (``ZeroDivisionError``, sqrt
+domain, address range, ``stg``).  The one representational difference is
+that registers here are always float64 while the scalar interpreter keeps
+Python ints exact beyond 2**53 — irrelevant for every kernel the workload
+framework can emit (addresses and counters stay far below 2**53) and
+checked nowhere else, but documented for honesty.  Fatal kernel errors
+surface during this phase, i.e. *before* simulated time starts, rather
+than mid-run as in the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.cfg import leader_pcs
+from repro.isa.instructions import Op
+from repro.isa.program import Program
+
+_ADD = int(Op.ADD); _SUB = int(Op.SUB); _MUL = int(Op.MUL); _DIV = int(Op.DIV)
+_MIN = int(Op.MIN); _MAX = int(Op.MAX); _ABS = int(Op.ABS); _NEG = int(Op.NEG)
+_SQRT = int(Op.SQRT); _MOV = int(Op.MOV)
+_IDIV = int(Op.IDIV); _REM = int(Op.REM); _AND = int(Op.AND); _OR = int(Op.OR)
+_XOR = int(Op.XOR); _SLL = int(Op.SLL); _SRL = int(Op.SRL); _TRUNC = int(Op.TRUNC)
+_SLT = int(Op.SLT); _SLE = int(Op.SLE); _SEQ = int(Op.SEQ); _SNE = int(Op.SNE)
+_LI = int(Op.LI); _ADDI = int(Op.ADDI); _MULI = int(Op.MULI)
+_SLTI = int(Op.SLTI); _ANDI = int(Op.ANDI)
+_BEQ = int(Op.BEQ); _BNE = int(Op.BNE); _BLT = int(Op.BLT); _BGE = int(Op.BGE)
+_BEQZ = int(Op.BEQZ); _BNEZ = int(Op.BNEZ); _J = int(Op.J)
+_LDG = int(Op.LDG); _STG = int(Op.STG); _LDL = int(Op.LDL); _STL = int(Op.STL)
+_HALT = int(Op.HALT); _NOP = int(Op.NOP); _BAR = int(Op.BAR)
+
+#: trace event kinds
+K_LDG = 0
+K_BAR = 1
+K_HALT = 2
+
+
+class ThreadTrace:
+    """One thread's issue trace (see module docstring)."""
+
+    __slots__ = ("gaps", "kinds", "addrs")
+
+    def __init__(self):
+        self.gaps: list[int] = []    # pure issues before event i
+        self.kinds: list[int] = []   # K_LDG / K_BAR / K_HALT
+        self.addrs: list[int] = []   # word address for K_LDG, -1 otherwise
+
+    @property
+    def total_issues(self) -> int:
+        return sum(self.gaps) + len(self.kinds)
+
+
+class VectorPlan:
+    """Everything the functional phase produced for the timing replay."""
+
+    __slots__ = ("traces", "local", "branches", "taken_branches",
+                 "local_reads", "local_writes")
+
+    def __init__(self, traces, local, branches, taken_branches,
+                 local_reads, local_writes):
+        #: per-global-thread :class:`ThreadTrace`
+        self.traces: list[ThreadTrace] = traces
+        #: final per-thread live state, shape ``[T, state_words]`` float64
+        self.local: np.ndarray = local
+        self.branches: np.ndarray = branches              # [T] int64
+        self.taken_branches: np.ndarray = taken_branches  # [T] int64
+        self.local_reads: np.ndarray = local_reads        # [T] int64
+        self.local_writes: np.ndarray = local_writes      # [T] int64
+
+
+class _Block:
+    """One compiled straight-line block (leader to control transfer)."""
+
+    __slots__ = ("pc", "instrs", "n_instrs", "pattern", "trailing",
+                 "terminal", "next_pc", "has_events")
+
+    def __init__(self, pc: int, instrs: list):
+        self.pc = pc
+        self.instrs = instrs
+        self.n_instrs = len(instrs)
+        # (pure_count_before, kind, ldg_index) per event, in block order
+        self.pattern: list[tuple[int, int, int]] = []
+        pure = 0
+        n_ldg = 0
+        for ins in instrs:
+            op = int(ins.op)
+            if op == _LDG:
+                self.pattern.append((pure, K_LDG, n_ldg))
+                n_ldg += 1
+                pure = 0
+            elif op == _BAR:
+                self.pattern.append((pure, K_BAR, -1))
+                pure = 0
+            elif op == _HALT:
+                self.pattern.append((pure, K_HALT, -1))
+                pure = 0
+            else:
+                pure += 1
+        self.trailing = pure
+        self.has_events = bool(self.pattern)
+
+        last = instrs[-1]
+        last_op = int(last.op)
+        if last_op == _HALT:
+            self.terminal = "halt"
+        elif _BEQ <= last_op <= _BNEZ:
+            self.terminal = "branch"
+        elif last_op == _J:
+            self.terminal = "jump"
+        else:
+            self.terminal = "fall"
+        self.next_pc = pc + len(instrs)  # used by "fall" (and branch not-taken)
+
+
+def compile_blocks(program: Program) -> dict[int, _Block]:
+    """Basic blocks keyed by leader PC.  Blocks are truncated after the
+    first ``halt`` (anything past it in the same block is unreachable)."""
+    instrs = program.instrs
+    leaders = leader_pcs(instrs)
+    bounds = leaders + [len(instrs)]
+    blocks: dict[int, _Block] = {}
+    for i, pc in enumerate(leaders):
+        body = instrs[pc:bounds[i + 1]]
+        for j, ins in enumerate(body):
+            if int(ins.op) == _HALT:
+                body = body[: j + 1]
+                break
+        blocks[pc] = _Block(pc, body)
+    return blocks
+
+
+def execute(
+    program: Program,
+    gm_data: np.ndarray,
+    thread_args: list[dict[int, float]],
+    n_regs: int,
+    state_words: int,
+    initial_state: Optional[np.ndarray] = None,
+) -> VectorPlan:
+    """Functionally execute all threads; return the replay plan.
+
+    ``thread_args`` is in *global thread order* (the same list the driver
+    hands to ``Processor.set_thread_args``); ``state_words`` is the
+    per-thread live-state partition size of the target architecture.
+    """
+    T = len(thread_args)
+    R = np.zeros((T, n_regs), dtype=np.float64)
+    for t, args in enumerate(thread_args):
+        for reg, val in args.items():
+            if reg == 0:
+                raise ValueError("r0 is hard-wired to zero")
+            R[t, reg] = val
+    L = np.zeros((T, state_words), dtype=np.float64)
+    if initial_state is not None:
+        L[:, : len(initial_state)] = initial_state
+
+    blocks = compile_blocks(program)
+    machine = _VectorMachine(program, blocks, gm_data, R, L, state_words)
+    machine.run()
+    return VectorPlan(
+        traces=machine.traces,
+        local=L,
+        branches=machine.branches,
+        taken_branches=machine.taken,
+        local_reads=machine.lreads,
+        local_writes=machine.lwrites,
+    )
+
+
+class _VectorMachine:
+    """Lockstep block interpreter over all threads."""
+
+    def __init__(self, program, blocks, gm_data, R, L, state_words):
+        self.program = program
+        self.blocks = blocks
+        self.gm = np.asarray(gm_data, dtype=np.float64)
+        self.R = R
+        self.L = L
+        self.state_words = state_words
+        T = R.shape[0]
+        self.T = T
+        self.P = np.zeros(T, dtype=np.int64)
+        self.halted = np.zeros(T, dtype=bool)
+        self.branches = np.zeros(T, dtype=np.int64)
+        self.taken = np.zeros(T, dtype=np.int64)
+        self.lreads = np.zeros(T, dtype=np.int64)
+        self.lwrites = np.zeros(T, dtype=np.int64)
+        self.gap_acc = np.zeros(T, dtype=np.int64)
+        self.traces = [ThreadTrace() for _ in range(T)]
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        P, halted = self.P, self.halted
+        while True:
+            alive = np.flatnonzero(~halted)
+            if alive.size == 0:
+                return
+            pcs = P[alive]
+            vals, counts = np.unique(pcs, return_counts=True)
+            pc = int(vals[np.argmax(counts)])
+            idx = alive[pcs == pc]
+            block = self.blocks.get(pc)
+            if block is None:
+                raise RuntimeError(f"pc {pc} is not a basic-block leader")
+            self._exec_block(block, idx)
+
+    # ------------------------------------------------------------------
+    def _exec_block(self, block: _Block, idx: np.ndarray) -> None:
+        R, L, gm = self.R, self.L, self.gm
+        ldg_addrs: list[np.ndarray] = []
+
+        for ins in block.instrs:
+            op = int(ins.op)
+            rd = ins.rd
+            if op == _ADD:
+                v = R[idx, ins.rs] + R[idx, ins.rt]
+            elif op == _ADDI:
+                v = R[idx, ins.rs] + ins.imm
+            elif op == _SUB:
+                v = R[idx, ins.rs] - R[idx, ins.rt]
+            elif op == _MUL:
+                v = R[idx, ins.rs] * R[idx, ins.rt]
+            elif op == _MULI:
+                v = R[idx, ins.rs] * ins.imm
+            elif op == _LI:
+                v = np.full(idx.size, ins.imm, dtype=np.float64)
+            elif op == _MOV:
+                v = R[idx, ins.rs]
+            elif op == _SLT:
+                v = (R[idx, ins.rs] < R[idx, ins.rt]).astype(np.float64)
+            elif op == _SLTI:
+                v = (R[idx, ins.rs] < ins.imm).astype(np.float64)
+            elif op == _SLE:
+                v = (R[idx, ins.rs] <= R[idx, ins.rt]).astype(np.float64)
+            elif op == _SEQ:
+                v = (R[idx, ins.rs] == R[idx, ins.rt]).astype(np.float64)
+            elif op == _SNE:
+                v = (R[idx, ins.rs] != R[idx, ins.rt]).astype(np.float64)
+            elif op == _DIV:
+                b = R[idx, ins.rt]
+                if np.any(b == 0.0):
+                    raise ZeroDivisionError("float division by zero")
+                v = R[idx, ins.rs] / b
+            elif op == _MIN:
+                a, b = R[idx, ins.rs], R[idx, ins.rt]
+                v = np.where(a < b, a, b)
+            elif op == _MAX:
+                a, b = R[idx, ins.rs], R[idx, ins.rt]
+                v = np.where(a > b, a, b)
+            elif op == _ABS:
+                v = np.abs(R[idx, ins.rs])
+            elif op == _NEG:
+                v = -R[idx, ins.rs]
+            elif op == _SQRT:
+                a = R[idx, ins.rs]
+                if np.any(a < 0.0):
+                    raise ValueError("math domain error")
+                v = np.sqrt(a)
+            elif op == _TRUNC:
+                v = np.trunc(R[idx, ins.rs])
+            elif op == _IDIV:
+                a = R[idx, ins.rs].astype(np.int64)
+                b = R[idx, ins.rt].astype(np.int64)
+                if np.any(b == 0):
+                    raise ZeroDivisionError("integer division or modulo by zero")
+                v = np.floor_divide(a, b).astype(np.float64)
+            elif op == _REM:
+                a = R[idx, ins.rs].astype(np.int64)
+                b = R[idx, ins.rt].astype(np.int64)
+                if np.any(b == 0):
+                    raise ZeroDivisionError("integer division or modulo by zero")
+                v = np.remainder(a, b).astype(np.float64)
+            elif op == _AND:
+                v = (R[idx, ins.rs].astype(np.int64)
+                     & R[idx, ins.rt].astype(np.int64)).astype(np.float64)
+            elif op == _ANDI:
+                v = (R[idx, ins.rs].astype(np.int64) & int(ins.imm)).astype(np.float64)
+            elif op == _OR:
+                v = (R[idx, ins.rs].astype(np.int64)
+                     | R[idx, ins.rt].astype(np.int64)).astype(np.float64)
+            elif op == _XOR:
+                v = (R[idx, ins.rs].astype(np.int64)
+                     ^ R[idx, ins.rt].astype(np.int64)).astype(np.float64)
+            elif op == _SLL:
+                v = np.left_shift(
+                    R[idx, ins.rs].astype(np.int64),
+                    R[idx, ins.rt].astype(np.int64),
+                ).astype(np.float64)
+            elif op == _SRL:
+                v = np.right_shift(
+                    R[idx, ins.rs].astype(np.int64),
+                    R[idx, ins.rt].astype(np.int64),
+                ).astype(np.float64)
+            elif op == _NOP:
+                continue
+            elif op == _BAR:
+                continue  # rendezvous is pure timing; recorded via pattern
+            elif op == _J:
+                break  # terminal; PC update below
+            elif op == _HALT:
+                break  # terminal; halt handling below
+            elif _BEQ <= op <= _BNEZ:
+                break  # terminal; branch handling below
+            elif op == _LDG:
+                addr = (R[idx, ins.rs] + ins.imm).astype(np.int64)
+                bad = (addr < 0) | (addr >= self.gm.size)
+                if np.any(bad):
+                    raise IndexError(
+                        f"global read out of range: {int(addr[np.argmax(bad)])} "
+                        f"(size {self.gm.size})"
+                    )
+                ldg_addrs.append(addr)
+                if rd:
+                    R[idx, rd] = gm[addr]
+                continue
+            elif op == _LDL:
+                addr = (R[idx, ins.rs] + ins.imm).astype(np.int64)
+                self._check_local(addr, idx)
+                if rd:
+                    R[idx, rd] = L[idx, addr]
+                self.lreads[idx] += 1
+                continue
+            elif op == _STL:
+                addr = (R[idx, ins.rt] + ins.imm).astype(np.int64)
+                self._check_local(addr, idx)
+                L[idx, addr] = R[idx, ins.rs]
+                self.lwrites[idx] += 1
+                continue
+            elif op == _STG:
+                raise NotImplementedError(
+                    "BMLA Map kernels do not store to global memory (outputs "
+                    "live in local state and are copied out by the host, "
+                    "section IV-E)"
+                )
+            else:  # pragma: no cover - full opcode coverage above
+                raise ValueError(f"vector backend cannot execute {ins.text}")
+
+            if rd:
+                R[idx, rd] = v
+
+        # ---- trace recording -----------------------------------------
+        gap_acc = self.gap_acc
+        if block.has_events:
+            traces = self.traces
+            pattern = block.pattern
+            trailing = block.trailing
+            addr_cols = [a.tolist() for a in ldg_addrs]
+            for j, g in enumerate(idx.tolist()):
+                tr = traces[g]
+                acc = int(gap_acc[g])
+                for pure, kind, ldg_i in pattern:
+                    tr.gaps.append(acc + pure)
+                    tr.kinds.append(kind)
+                    tr.addrs.append(addr_cols[ldg_i][j] if ldg_i >= 0 else -1)
+                    acc = 0
+                gap_acc[g] = acc + trailing
+        else:
+            gap_acc[idx] += block.n_instrs
+
+        # ---- control transfer ----------------------------------------
+        last = block.instrs[-1]
+        if block.terminal == "halt":
+            self.halted[idx] = True
+        elif block.terminal == "branch":
+            op = int(last.op)
+            a = self.R[idx, last.rs]
+            if op == _BEQ:
+                cond = a == self.R[idx, last.rt]
+            elif op == _BNE:
+                cond = a != self.R[idx, last.rt]
+            elif op == _BLT:
+                cond = a < self.R[idx, last.rt]
+            elif op == _BGE:
+                cond = a >= self.R[idx, last.rt]
+            elif op == _BEQZ:
+                cond = a == 0
+            else:  # BNEZ
+                cond = a != 0
+            self.branches[idx] += 1
+            self.taken[idx] += cond
+            self.P[idx] = np.where(cond, last.target, block.next_pc)
+        elif block.terminal == "jump":
+            self.P[idx] = last.target
+        else:
+            self.P[idx] = block.next_pc
+
+    # ------------------------------------------------------------------
+    def _check_local(self, addr: np.ndarray, idx: np.ndarray) -> None:
+        bad = (addr < 0) | (addr >= self.state_words)
+        if np.any(bad):
+            j = int(np.argmax(bad))
+            raise IndexError(
+                f"thread {int(idx[j])} local address {int(addr[j])} exceeds "
+                f"its {self.state_words}-word state partition"
+            )

@@ -2,6 +2,7 @@
 with :data:`repro.lint.core.REGISTRY`."""
 
 from repro.lint.rules import (  # noqa: F401
+    api_options,
     determinism,
     hooks,
     pickle_safety,

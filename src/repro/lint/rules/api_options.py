@@ -1,0 +1,56 @@
+"""Execution-options API discipline rules (API).
+
+The PR that introduced the ``backend`` axis consolidated ``RunSpec``'s
+accreting scalar knobs (``validate``, ``sanitize``, ``trace``,
+``backend``) into one frozen :class:`repro.sim.options.ExecOptions`
+value passed as ``options=``.  The flat keywords survive on ``RunSpec``
+itself as a compatibility shim for callers and old serialized dicts, but
+*this codebase* should construct specs the one canonical way — otherwise
+the shim can never be retired and every new option axis re-opens the
+question of which spelling call sites use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleInfo, Rule, register
+
+#: the pre-redesign flat flags now carried by ExecOptions
+_FLAT_FLAGS = ("validate", "sanitize", "trace", "backend")
+
+
+def _is_runspec_ctor(func: ast.expr) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id == "RunSpec"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "RunSpec"
+    return False
+
+
+@register
+class FlatExecFlagsRule(Rule):
+    id = "API001"
+    name = "runspec-flat-exec-flags"
+    rationale = (
+        "RunSpec(validate=/sanitize=/trace=/backend=) is the pre-"
+        "ExecOptions compatibility shim; in-tree call sites must pass "
+        "options=ExecOptions(...) so execution knobs stay one value and "
+        "the shim stays retireable"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and _is_runspec_ctor(node.func)):
+                continue
+            flat = [kw.arg for kw in node.keywords if kw.arg in _FLAT_FLAGS]
+            if not flat:
+                continue
+            yield self.finding(
+                module, node,
+                "RunSpec(" + "=, ".join(flat) + "=) uses deprecated flat "
+                "execution flags; pass options=ExecOptions("
+                + ", ".join(f"{f}=..." for f in flat) + ") instead",
+            )

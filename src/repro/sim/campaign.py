@@ -35,6 +35,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim.cache import ResultCache
 from repro.sim.driver import RunResult, _execute
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 from repro.workloads.base import BuiltWorkload
 from repro.workloads.registry import get_workload
@@ -84,12 +85,20 @@ def cross(
     validate: bool = True,
     sanitize: bool = False,
     trace: bool = False,
+    options: Optional[ExecOptions] = None,
 ) -> list[RunSpec]:
     """Specs for the full arch x workload cross product, workload-major
-    (matches the figures' iteration order)."""
+    (matches the figures' iteration order).
+
+    ``options`` supersedes the flat ``validate``/``sanitize``/``trace``
+    flags (kept as a compatibility shim; mixing the two is an error)."""
+    if options is None:
+        options = ExecOptions(validate=validate, sanitize=sanitize, trace=trace)
+    elif (validate, sanitize, trace) != (True, False, False):
+        raise TypeError("cross(): pass either options= or flat flags, not both")
     return [
         RunSpec(a, wl, config=config, n_records=n_records, seed=seed,
-                validate=validate, sanitize=sanitize, trace=trace)
+                options=options)
         for wl in workloads
         for a in arches
     ]

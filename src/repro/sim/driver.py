@@ -53,6 +53,7 @@ from repro.dram.dram import GlobalMemory
 from repro.energy.model import EnergyBreakdown, compute_energy
 from repro.engine.events import Engine
 from repro.engine.stats import Stats
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 from repro.workloads.base import BuiltWorkload, Workload
 from repro.workloads.registry import WORKLOADS, get_workload
@@ -71,33 +72,40 @@ TRAVERSAL: dict[str, str] = {
     "vws-row": "interleaved",
 }
 
-#: key -> (processor class, config transform, needs record barriers)
-ARCHITECTURES: dict[str, tuple[type, Callable[[SystemConfig], SystemConfig], bool]] = {
-    "gpgpu": (GpgpuSM, lambda c: c, False),
-    "vws": (VwsSM, lambda c: c, False),
-    "vws-row": (VwsRowSM, lambda c: _millipede_cfg(c, flow_control=True), False),
-    "ssmc": (SsmcProcessor, lambda c: c, False),
+#: key -> (processor class, config transform, needs record barriers,
+#: supports the vector trace-replay backend).  SIMT models (gpgpu/vws)
+#: run their own warp loops, so the ``vector`` backend falls back to the
+#: reference interpreter for them (still on the calendar-queue scheduler).
+ARCHITECTURES: dict[str, tuple[type, Callable[[SystemConfig], SystemConfig], bool, bool]] = {
+    "gpgpu": (GpgpuSM, lambda c: c, False, False),
+    "vws": (VwsSM, lambda c: c, False, False),
+    "vws-row": (VwsRowSM, lambda c: _millipede_cfg(c, flow_control=True), False, False),
+    "ssmc": (SsmcProcessor, lambda c: c, False, True),
     "millipede": (
         MillipedeProcessor,
         lambda c: _millipede_cfg(c, flow_control=True, rate_match=False),
         False,
+        True,
     ),
     "millipede-nofc": (
         MillipedeProcessor,
         lambda c: _millipede_cfg(c, flow_control=False, rate_match=False),
         False,
+        True,
     ),
     "millipede-rm": (
         MillipedeProcessor,
         lambda c: _millipede_cfg(c, flow_control=True, rate_match=True),
         False,
+        True,
     ),
     "millipede-bar": (
         MillipedeProcessor,
         lambda c: _millipede_cfg(c, flow_control=False, record_barriers=True),
         True,
+        True,
     ),
-    "multicore": (MulticoreProcessor, lambda c: c, False),
+    "multicore": (MulticoreProcessor, lambda c: c, False, True),
 }
 
 
@@ -180,11 +188,19 @@ def run(
     built: Optional[BuiltWorkload] = None,
     sanitize: bool = False,
     trace: bool = False,
+    backend: str = "reference",
+    options: Optional[ExecOptions] = None,
     trace_interval_ps: Optional[int] = None,
     probe: Optional[Callable] = None,
 ) -> RunResult:
     """Simulate one :class:`RunSpec` (or the legacy positional form) and
     validate the result.
+
+    This is the legacy entry point kept for compatibility; new code
+    should prefer :func:`repro.api.run`, which takes an
+    :class:`~repro.sim.options.ExecOptions`.  Passing ``options=`` here
+    supersedes the flat ``validate``/``sanitize``/``trace``/``backend``
+    flags (mixing non-default flags with ``options`` is an error).
 
     ``run(RunSpec(...))`` is the canonical entry point;
     ``run("millipede", "count", ...)`` builds the spec for you and also
@@ -214,15 +230,18 @@ def run(
         wl = get_workload(workload) if isinstance(workload, str) else workload
         if wl is None:
             raise TypeError("run(arch, workload): workload is required")
+        if options is None:
+            options = ExecOptions(validate=validate, sanitize=sanitize,
+                                  trace=trace, backend=backend)
+        elif not (validate, sanitize, trace, backend) == (True, False, False, "reference"):
+            raise TypeError("run(): pass either options= or flat flags, not both")
         spec = RunSpec(
             arch=arch,
             workload=wl.name,
             config=config,
             n_records=n_records,
             seed=seed,
-            validate=validate,
-            sanitize=sanitize,
-            trace=trace,
+            options=options,
         )
     return _execute(spec, wl, built, probe=probe,
                     trace_interval_ps=trace_interval_ps)
@@ -234,7 +253,7 @@ def _execute(
     trace_interval_ps: Optional[int] = None,
 ) -> RunResult:
     """Run one spec with an already-resolved workload object."""
-    proc_cls, transform, needs_barriers = ARCHITECTURES[spec.arch]
+    proc_cls, transform, needs_barriers, vectorizable = ARCHITECTURES[spec.arch]
     cfg = transform(spec.config)
     arch, validate = spec.arch, spec.validate
     n_threads = spec.n_threads
@@ -255,7 +274,7 @@ def _execute(
             f"{built.traversal} traversal; {arch} needs {n_threads} / {traversal}"
         )
 
-    engine = Engine()
+    engine = Engine(scheduler=spec.options.scheduler)
     stats = Stats()
     sanitizer = None
     if spec.sanitize:
@@ -274,6 +293,8 @@ def _execute(
     # layout metadata enables oracle stream prefetch (baselines) and the
     # safe-wait record-span hint (prefetch buffer)
     extra_kwargs = {"layout": built.layout}
+    if spec.backend == "vector" and vectorizable:
+        extra_kwargs["backend"] = "vector"
     proc = proc_cls(
         engine,
         cfg,
@@ -361,7 +382,7 @@ def run_many(
 
         specs = [
             RunSpec(a, wl.name, config=config, n_records=n_records,
-                    seed=seed, validate=validate)
+                    seed=seed, options=ExecOptions(validate=validate))
             for a in arches
         ]
         return dict(zip(arches, run_batch(specs, workers=1)))
@@ -369,7 +390,7 @@ def run_many(
     results: dict[str, RunResult] = {}
     shared: dict[tuple[int, bool, str], BuiltWorkload] = {}
     for arch in arches:
-        _, transform, needs_barriers = ARCHITECTURES[arch]
+        _, transform, needs_barriers, _ = ARCHITECTURES[arch]
         cfg = transform(config)
         if arch == "multicore":
             n_threads = cfg.multicore.n_cores * cfg.multicore.n_threads

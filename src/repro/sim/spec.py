@@ -1,14 +1,29 @@
 """RunSpec: the frozen, serializable description of one simulation.
 
-A :class:`RunSpec` is a pure value — (architecture, workload, config,
-record count, seed, validate flag, sanitize flag, trace flag) — that fully determines
-a simulation's outcome.  Because it is frozen, hashable, picklable, and carries a stable
-content hash, it is the unit the campaign runner (:mod:`repro.sim.campaign`)
-deduplicates, ships to worker processes, and keys the result cache on.
+A :class:`RunSpec` is a pure value — *what* to simulate (architecture,
+workload, config, record count, seed) plus *how* to execute it (an
+:class:`~repro.sim.options.ExecOptions` sub-value: validate / sanitize /
+trace / backend) — that fully determines a simulation's outcome.  Because
+it is frozen, hashable, picklable, and carries a stable content hash, it
+is the unit the campaign runner (:mod:`repro.sim.campaign`) deduplicates,
+ships to worker processes, and keys the result cache on.
 
 >>> spec = RunSpec("millipede", "count", n_records=2048)
 >>> RunSpec.from_dict(spec.to_dict()) == spec
 True
+>>> RunSpec("millipede", "count", options=ExecOptions(backend="vector")).backend
+'vector'
+
+Migration note (execution-options redesign)
+-------------------------------------------
+The execution knobs used to be flat ``RunSpec`` fields.  The constructor,
+``replace``, ``to_dict``/``from_dict``, and read-only properties all still
+accept/expose the flat spelling (``RunSpec(..., sanitize=True)``,
+``spec.sanitize``), so existing callers and serialized specs keep working
+— but new code inside ``src/`` should pass ``options=ExecOptions(...)``;
+``repro.lint`` rule API001 flags flat-flag construction there.  Content
+hashes are unchanged: ``to_dict`` emits the pre-redesign flat keys, with
+``backend`` included only when non-default.
 """
 
 from __future__ import annotations
@@ -19,15 +34,25 @@ from dataclasses import dataclass, replace as dc_replace
 from typing import Optional
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.sim.options import ExecOptions
+
+#: ExecOptions fields accepted as legacy flat keyword arguments by
+#: ``RunSpec(...)``, ``RunSpec.replace``, and ``RunSpec.from_dict``
+_OPTION_FLAGS = ("validate", "sanitize", "trace", "backend")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class RunSpec:
     """Everything that determines one simulation run.
 
     ``workload`` is a registry *name* (see :mod:`repro.workloads.registry`)
     so specs stay serializable; unregistered :class:`Workload` objects can
     still be run through the legacy ``run(arch, workload_obj)`` path.
+
+    Execution knobs live in ``options`` (:class:`ExecOptions`); the flat
+    keyword spelling (``validate=``/``sanitize=``/``trace=``/``backend=``)
+    is accepted for compatibility and folded into ``options``.  Mixing
+    ``options=`` with a flat flag is an error — one source of truth.
     """
 
     arch: str
@@ -35,31 +60,74 @@ class RunSpec:
     config: SystemConfig = DEFAULT_CONFIG
     n_records: Optional[int] = None
     seed: int = 0
-    validate: bool = True
-    #: attach :class:`repro.sanitize.SimSanitizer` runtime invariant
-    #: checking.  Part of the spec identity (sanitized and unsanitized
-    #: results are cached separately) even though a clean sanitized run
-    #: produces identical statistics and metrics.
-    sanitize: bool = False
-    #: attach :class:`repro.trace.SimTracer` timeline sampling + host
-    #: profiling; the result carries a :class:`repro.trace.TraceResult`.
-    #: Part of the spec identity, though a traced run's statistics are
-    #: byte-identical to an untraced run's.  Traced specs bypass cache
-    #: *lookup* (a cached result has no trace to return); dicts from
-    #: before this field deserialize with ``trace=False``.
-    trace: bool = False
+    options: ExecOptions = ExecOptions()
 
-    def __post_init__(self):
+    def __init__(
+        self,
+        arch: str,
+        workload: str,
+        config: SystemConfig = DEFAULT_CONFIG,
+        n_records: Optional[int] = None,
+        seed: int = 0,
+        options: Optional[ExecOptions] = None,
+        *,
+        validate: Optional[bool] = None,
+        sanitize: Optional[bool] = None,
+        trace: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ):
+        flags = {
+            k: v
+            for k, v in (("validate", validate), ("sanitize", sanitize),
+                         ("trace", trace), ("backend", backend))
+            if v is not None
+        }
+        if options is None:
+            options = ExecOptions(**flags)
+        elif flags:
+            raise TypeError(
+                f"pass execution flags inside options=ExecOptions(...), "
+                f"not alongside it (got both options= and "
+                f"{', '.join(sorted(flags))})"
+            )
+        elif not isinstance(options, ExecOptions):
+            raise TypeError(f"options must be ExecOptions, got {type(options).__name__}")
+        object.__setattr__(self, "arch", arch)
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "config", config)
+        object.__setattr__(self, "n_records", n_records)
+        object.__setattr__(self, "seed", seed)
+        object.__setattr__(self, "options", options)
+
         # lazy import: driver imports this module at load time
         from repro.sim.driver import ARCHITECTURES
 
-        if self.arch not in ARCHITECTURES:
+        if arch not in ARCHITECTURES:
             raise KeyError(
-                f"unknown architecture {self.arch!r}; "
+                f"unknown architecture {arch!r}; "
                 f"available: {', '.join(ARCHITECTURES)}"
             )
-        if self.n_records is not None and self.n_records <= 0:
-            raise ValueError(f"n_records must be positive, got {self.n_records}")
+        if n_records is not None and n_records <= 0:
+            raise ValueError(f"n_records must be positive, got {n_records}")
+
+    # ------------------------------------------------------------------
+    # execution-option views (pre-redesign flat spelling, read-only)
+    # ------------------------------------------------------------------
+    @property
+    def validate(self) -> bool:
+        return self.options.validate
+
+    @property
+    def sanitize(self) -> bool:
+        return self.options.sanitize
+
+    @property
+    def trace(self) -> bool:
+        return self.options.trace
+
+    @property
+    def backend(self) -> str:
+        return self.options.backend
 
     # ------------------------------------------------------------------
     # derived build parameters (shared by driver and campaign)
@@ -70,8 +138,7 @@ class RunSpec:
         rate-match / barrier flags)."""
         from repro.sim.driver import ARCHITECTURES
 
-        _, transform, _ = ARCHITECTURES[self.arch]
-        return transform(self.config)
+        return ARCHITECTURES[self.arch][1](self.config)
 
     @property
     def n_threads(self) -> int:
@@ -108,24 +175,40 @@ class RunSpec:
     # identity / serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-portable dict; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-portable dict; inverse of :meth:`from_dict`.
+
+        Execution options are emitted as the pre-redesign flat keys (with
+        ``backend`` only when non-default) so content hashes of
+        semantically-unchanged specs are stable across the redesign."""
+        out = {
             "arch": self.arch,
             "workload": self.workload,
             "config": self.config.as_canonical_dict(),
             "n_records": self.n_records,
             "seed": self.seed,
-            "validate": self.validate,
-            "sanitize": self.sanitize,
-            "trace": self.trace,
         }
+        out.update(self.options.to_dict())
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":
+        """Accepts both the current wire format (flat execution-option
+        keys) and an explicit nested ``"options"`` dict."""
         data = dict(data)
         cfg = data.pop("config", None)
         config = SystemConfig.from_dict(cfg) if cfg is not None else DEFAULT_CONFIG
-        return cls(config=config, **data)
+        nested = data.pop("options", None)
+        flags = {k: data.pop(k) for k in _OPTION_FLAGS if k in data}
+        if nested is not None:
+            if flags:
+                raise ValueError(
+                    f"spec dict mixes nested 'options' with flat keys "
+                    f"{sorted(flags)}"
+                )
+            options = ExecOptions.from_dict(nested)
+        else:
+            options = ExecOptions(**flags)
+        return cls(config=config, options=options, **data)
 
     def content_hash(self) -> str:
         """Stable hash of every field (including the full config); equal
@@ -134,8 +217,18 @@ class RunSpec:
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def replace(self, **kwargs) -> "RunSpec":
+        """Field-wise copy; accepts both real fields and the legacy flat
+        execution flags (routed into ``options``)."""
+        flags = {k: kwargs.pop(k) for k in _OPTION_FLAGS if k in kwargs}
+        if flags:
+            if "options" in kwargs:
+                raise TypeError(
+                    f"replace() got both options= and flat flags {sorted(flags)}"
+                )
+            kwargs["options"] = self.options.replace(**flags)
         return dc_replace(self, **kwargs)
 
     def __str__(self) -> str:
         n = self.n_records if self.n_records is not None else "default"
-        return f"{self.arch}/{self.workload}[n={n},seed={self.seed}]"
+        tag = f",backend={self.backend}" if self.backend != "reference" else ""
+        return f"{self.arch}/{self.workload}[n={n},seed={self.seed}{tag}]"

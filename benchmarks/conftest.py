@@ -5,10 +5,21 @@ input size (full-size regeneration is ``python -m repro.experiments all``),
 asserts the paper's *shape* on the result, and reports the wall time of
 the regeneration through pytest-benchmark (single round - these are
 simulations, not microbenchmarks).
+
+Two recorded trajectory files live at the repo root and are uploaded by
+CI as artifacts:
+
+* ``BENCH_interp.json``   - interpreter-backend speedups (ROADMAP item 3)
+* ``BENCH_campaign.json`` - campaign-runner batch/store timings
+
+``record_bench`` merges one named section into one of them; the committed
+copies double as the regression baseline that ``test_bench_gate.py``
+compares freshly recorded numbers against (>25% speedup regression fails).
 """
 
 from __future__ import annotations
 
+import datetime
 import json
 import time
 from pathlib import Path
@@ -18,26 +29,54 @@ import pytest
 #: records per benchmark for the CI-speed figure regenerations
 FAST_RECORDS = 4096
 
-#: the interpreter-backend perf trajectory file (ROADMAP item 3): each
-#: benchmark session merges its section; CI uploads it as an artifact
-BENCH_INTERP_PATH = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
+_ROOT = Path(__file__).resolve().parent.parent
+
+#: the recorded perf-trajectory files, by short name
+BENCH_PATHS = {
+    "interp": _ROOT / "BENCH_interp.json",
+    "campaign": _ROOT / "BENCH_campaign.json",
+}
+
+#: kept for older imports; prefer ``BENCH_PATHS["interp"]``
+BENCH_INTERP_PATH = BENCH_PATHS["interp"]
 
 
-def record_bench(section: str, payload: dict) -> Path:
-    """Merge one named section into ``BENCH_interp.json``.
+def _load(path: Path) -> dict:
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
+#: the committed numbers, snapshotted at collection time so a session
+#: that re-records a file still gates against what it started from
+BASELINES: dict[str, dict] = {name: _load(path)
+                              for name, path in BENCH_PATHS.items()}
+
+#: sections recorded by *this* session, file -> section -> payload;
+#: the regression gate only judges freshly measured numbers
+RECORDED: dict[str, dict] = {name: {} for name in BENCH_PATHS}
+
+
+def record_bench(section: str, payload: dict, file: str = "interp") -> Path:
+    """Merge one named section into a bench trajectory file.
 
     Sections are replaced wholesale (a re-run overwrites its own numbers,
-    never another benchmark's), so interp and campaign benchmarks can
-    land in either order."""
-    data: dict = {}
-    if BENCH_INTERP_PATH.exists():
-        data = json.loads(BENCH_INTERP_PATH.read_text())
+    never another benchmark's), so recorders can land in any order."""
+    path = BENCH_PATHS[file]
+    data = _load(path)
+    now = time.time()
     data["schema"] = 1
-    data["generated_unix"] = time.time()
+    data["generated_unix"] = now
+    # human-readable ISO-8601 UTC alongside the raw float
+    data["generated_iso"] = datetime.datetime.fromtimestamp(
+        now, datetime.timezone.utc).isoformat(timespec="seconds")
     data[section] = payload
-    BENCH_INTERP_PATH.write_text(
-        json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return BENCH_INTERP_PATH
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    RECORDED[file][section] = payload
+    return path
 
 
 @pytest.fixture
@@ -53,10 +92,12 @@ def run_once(benchmark, fn, *args, **kwargs):
 def pytest_collection_modifyitems(items):
     """The shape-assertion tests take the ``benchmark`` fixture only so
     ``--benchmark-only`` runs them (they assert on module-scoped results
-    rather than timing anything); silence the unused-fixture warning."""
+    rather than timing anything); silence the unused-fixture warning.
+    The regression gate sorts last so every recorder has run first."""
     import pytest
 
     for item in items:
         item.add_marker(
             pytest.mark.filterwarnings("ignore:Benchmark fixture was not used")
         )
+    items.sort(key=lambda item: item.module.__name__ == "test_bench_gate")

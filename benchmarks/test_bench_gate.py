@@ -1,0 +1,85 @@
+"""Bench regression gate (ISSUE 7 satellite): freshly recorded numbers
+vs. the committed baseline files.
+
+Raw seconds are machine-dependent (CI runners vary run to run), so the
+gate judges the *dimensionless* metrics - reference/vector and cold/warm
+speedup ratios, where both sides of each ratio ran on the same machine in
+the same session.  A recorded speedup falling below 75% of its committed
+baseline (> 25% regression) fails CI.  Tiny ratios are exempt: where the
+baseline itself is < 2x, the ratio is dominated by noise, and the
+absolute acceptance gates (>= 3x best interp speedup, warm < cold) cover
+the floor.
+
+Runs last in the benchmark session (conftest sorts it after the
+recorders) and skips standalone invocations that recorded nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BASELINES, RECORDED
+
+#: > 25% speedup regression vs. the committed baseline fails
+TOLERANCE = 0.75
+
+#: baselines below this are noise-dominated; absolute gates cover them
+MIN_GATED_BASELINE = 2.0
+
+
+def _gated_pairs():
+    """(label, baseline_speedup, recorded_speedup) for every comparable
+    ratio recorded this session."""
+    pairs = []
+
+    interp = RECORDED["interp"].get("interp")
+    base_interp = BASELINES["interp"].get("interp", {})
+    if interp:
+        for wl, timing in sorted(interp.get("workloads", {}).items()):
+            base = base_interp.get("workloads", {}).get(wl, {}).get("speedup")
+            if base is not None:
+                pairs.append((f"interp:{wl}", base, timing["speedup"]))
+        if "best_speedup" in base_interp:
+            pairs.append(("interp:best", base_interp["best_speedup"],
+                          interp["best_speedup"]))
+
+    for section in ("batch", "store"):
+        rec = RECORDED["campaign"].get(section)
+        base = BASELINES["campaign"].get(section, {})
+        if not rec:
+            continue
+        for metric in ("speedup", "warm_speedup"):
+            if metric in rec and metric in base:
+                pairs.append((f"campaign:{section}:{metric}",
+                              base[metric], rec[metric]))
+    return pairs
+
+
+def test_no_speedup_regression_vs_baseline(benchmark):
+    pairs = _gated_pairs()
+    if not pairs:
+        pytest.skip("nothing recorded this session "
+                    "(run the recorder benchmarks first)")
+    failures = []
+    for label, base, current in pairs:
+        if base < MIN_GATED_BASELINE:
+            continue
+        if current < TOLERANCE * base:
+            failures.append(
+                f"{label}: {current:.2f}x < {TOLERANCE:.0%} of "
+                f"baseline {base:.2f}x")
+    assert not failures, (
+        "speedup regressions vs. committed baseline:\n  "
+        + "\n  ".join(failures))
+
+
+def test_warm_store_absolute_floor(benchmark):
+    """Machine-independent floor: resuming a fully recorded campaign must
+    be at least 4x cheaper than simulating it."""
+    rec = RECORDED["campaign"].get("store")
+    if not rec:
+        pytest.skip("store benchmark did not record this session")
+    assert rec["warm_misses"] == 0
+    assert rec["warm_speedup"] >= 4.0, (
+        f"warm resume only {rec['warm_speedup']:.2f}x faster than cold "
+        "simulation; the store hit path has regressed")

@@ -1,10 +1,15 @@
-"""Campaign-runner benchmark: a Fig.-3-shaped sweep through ``run_batch``.
+"""Campaign-runner benchmark: a Fig.-3-shaped sweep through ``run_batch``
+and the persistent fingerprint store.
 
 Times the batch API end to end (spec dedup, per-worker build reuse,
 multiprocess dispatch) and asserts parallel results are bit-identical to
 serial ones.  On a multi-core machine the ``workers=2`` regeneration
 should beat the serial one; on a single core it only checks overhead
-stays bounded.
+stays bounded.  The store tests time the same sweep cold (simulating
+into an empty store) vs. warm (resumed: every spec a store hit) and
+record both into ``BENCH_campaign.json`` - the resume path must be
+dramatically cheaper than simulation for crash-recovery and sharding to
+pay off.
 """
 
 from __future__ import annotations
@@ -14,8 +19,9 @@ import time
 import pytest
 
 from conftest import FAST_RECORDS, record_bench, run_once
-from repro.sim.campaign import cross, run_batch
+from repro.sim.campaign import cross, run_batch, run_campaign
 from repro.sim.options import ExecOptions
+from repro.sim.store import FingerprintStore, canonical_result_blob
 
 ARCHES = ["gpgpu", "ssmc", "millipede"]
 BENCHES = ["count", "variance", "kmeans"]
@@ -24,7 +30,9 @@ BENCHES = ["count", "variance", "kmeans"]
 @pytest.fixture(scope="module")
 def serial_batch():
     specs = cross(ARCHES, BENCHES, n_records=FAST_RECORDS)
-    return specs, run_batch(specs, workers=1)
+    t0 = time.perf_counter()
+    results = run_batch(specs, workers=1)
+    return specs, results, time.perf_counter() - t0
 
 
 def test_batch_serial(benchmark, fast_records):
@@ -36,7 +44,7 @@ def test_batch_serial(benchmark, fast_records):
 
 
 def test_batch_two_workers_identical(benchmark, fast_records, serial_batch):
-    specs, serial = serial_batch
+    specs, serial, _ = serial_batch
     parallel = run_once(benchmark, run_batch, specs, workers=2)
     for a, b in zip(serial, parallel):
         assert a.finish_ps == b.finish_ps
@@ -46,14 +54,9 @@ def test_batch_two_workers_identical(benchmark, fast_records, serial_batch):
 
 def test_batch_vector_backend_identical(benchmark, fast_records, serial_batch):
     """The same Fig.-3-shaped sweep through the fast backend: identical
-    results, and both batch wall-clocks land in ``BENCH_interp.json``
+    results, and both batch wall-clocks land in ``BENCH_campaign.json``
     (the campaign-serving numbers the backend exists to improve)."""
-    specs, serial = serial_batch
-
-    t0 = time.perf_counter()
-    reference = run_batch(
-        cross(ARCHES, BENCHES, n_records=fast_records), workers=1)
-    t_ref = time.perf_counter() - t0
+    specs, serial, t_ref = serial_batch
 
     vec_specs = cross(ARCHES, BENCHES, n_records=fast_records,
                       options=ExecOptions(backend="vector"))
@@ -65,9 +68,8 @@ def test_batch_vector_backend_identical(benchmark, fast_records, serial_batch):
         assert a.finish_ps == b.finish_ps
         assert a.collected == b.collected
         assert a.stats == b.stats
-    assert len(reference) == len(vector)
 
-    record_bench("campaign", {
+    record_bench("batch", {
         "arches": ARCHES,
         "benches": BENCHES,
         "n_records": fast_records,
@@ -75,4 +77,41 @@ def test_batch_vector_backend_identical(benchmark, fast_records, serial_batch):
         "reference_s": round(t_ref, 4),
         "vector_s": round(t_vec, 4),
         "speedup": round(t_ref / t_vec, 3),
-    })
+    }, file="campaign")
+
+
+def test_store_cold_vs_warm(benchmark, fast_records, serial_batch, tmp_path):
+    """Cold campaign (simulate + record) vs. warm campaign (pure store
+    hits): the warm pass must re-simulate nothing, serve byte-identical
+    records, and be far cheaper than simulation."""
+    specs, serial, _ = serial_batch
+    store = FingerprintStore(tmp_path / "store")
+
+    t0 = time.perf_counter()
+    cold = run_campaign(specs, store, workers=1, name="bench")
+    t_cold = time.perf_counter() - t0
+    assert cold.hits == 0 and cold.misses == len(specs)
+
+    def warm_pass():
+        return run_campaign(specs, FingerprintStore(tmp_path / "store"),
+                            workers=1, name="bench")
+
+    t0 = time.perf_counter()
+    warm = run_once(benchmark, warm_pass)
+    t_warm = time.perf_counter() - t0
+    assert warm.hits == len(specs) and warm.misses == 0  # zero re-simulation
+    for a, b in zip(serial, warm.gather(specs)):
+        assert canonical_result_blob(a) == canonical_result_blob(b)
+    assert t_warm < t_cold  # resume must beat re-simulation outright
+
+    record_bench("store", {
+        "arches": ARCHES,
+        "benches": BENCHES,
+        "n_records": fast_records,
+        "specs": len(specs),
+        "cold_s": round(t_cold, 4),
+        "warm_s": round(t_warm, 4),
+        "warm_speedup": round(t_cold / t_warm, 3),
+        "warm_hits": warm.hits,
+        "warm_misses": warm.misses,
+    }, file="campaign")

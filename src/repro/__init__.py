@@ -45,21 +45,33 @@ The package layers:
 from repro import api
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sanitize import InvariantViolation, SimSanitizer
-from repro.sim.campaign import BatchProgress, run_batch
+from repro.sim.campaign import (
+    BatchProgress,
+    CampaignPlan,
+    CampaignReport,
+    plan_campaign,
+    run_batch,
+    run_campaign,
+    shard_specs,
+)
 from repro.sim.driver import ARCHITECTURES, RunResult, run, run_many
 from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
+from repro.sim.store import FingerprintStore
 from repro.trace import SimTracer, TraceResult
 from repro.workloads.registry import get_workload, workload_names
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
     "SystemConfig",
     "ARCHITECTURES",
     "BatchProgress",
+    "CampaignPlan",
+    "CampaignReport",
     "ExecOptions",
+    "FingerprintStore",
     "InvariantViolation",
     "RunResult",
     "RunSpec",
@@ -67,9 +79,12 @@ __all__ = [
     "SimTracer",
     "TraceResult",
     "api",
+    "plan_campaign",
     "run",
     "run_batch",
+    "run_campaign",
     "run_many",
+    "shard_specs",
     "get_workload",
     "workload_names",
     "__version__",

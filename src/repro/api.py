@@ -26,16 +26,34 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from pathlib import Path
+
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim.cache import ResultCache
-from repro.sim.campaign import run_batch as _campaign_run_batch
+from repro.sim.campaign import (
+    CampaignReport,
+    coerce_store,
+    run_batch as _campaign_run_batch,
+    run_campaign as _campaign_run_campaign,
+)
 from repro.sim.driver import RunResult, run as _driver_run
 from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
+from repro.sim.store import FingerprintStore
 from repro.workloads.base import Workload
 from repro.workloads.registry import workload_names
 
-__all__ = ["ExecOptions", "RunSpec", "RunResult", "run", "run_batch", "sweep"]
+__all__ = [
+    "CampaignReport",
+    "ExecOptions",
+    "FingerprintStore",
+    "RunSpec",
+    "RunResult",
+    "run",
+    "run_batch",
+    "run_campaign",
+    "sweep",
+]
 
 
 def run(
@@ -71,21 +89,54 @@ def run_batch(
     *,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    store: "FingerprintStore | Path | str | None" = None,
     progress=None,
 ) -> list[RunResult]:
-    """Run many specs with dedup, optional disk cache, and fan-out.
+    """Run many specs with dedup, optional result tiers, and fan-out.
 
-    Results come back in ``specs`` order.  This is
+    Results come back in ``specs`` order.  ``cache`` is the session tier
+    (:class:`ResultCache`); ``store`` is the durable tier (a
+    :class:`FingerprintStore` or its directory path) - completed
+    fingerprints are served from it and fresh results appended to it.
+    Pass one or the other, not both.  This is
     :func:`repro.sim.campaign.run_batch` re-exported under the facade;
     see that module for the dedup/cache/progress contract.
     """
-    if cache is not None and not isinstance(cache, ResultCache):
+    if store is not None:
+        if cache is not None:
+            raise TypeError("pass either cache= (session tier) or "
+                            "store= (durable tier), not both")
+        cache = coerce_store(store)
+    elif cache is not None and not isinstance(cache, ResultCache):
         raise TypeError(
             f"cache must be a ResultCache or None, got {type(cache).__name__}"
-            " (caching is off by default; pass a ResultCache to enable it)"
+            " (caching is off by default; pass a ResultCache to enable it,"
+            " or a FingerprintStore via store= for the durable tier)"
         )
     return _campaign_run_batch(specs, workers=workers, cache=cache,
                                progress=progress)
+
+
+def run_campaign(
+    specs: Sequence[RunSpec],
+    store: "FingerprintStore | Path | str",
+    *,
+    workers: int = 1,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
+    name: Optional[str] = None,
+    progress=None,
+) -> CampaignReport:
+    """Run a persistent, resumable, shard-able campaign (docs/campaigns.md).
+
+    :func:`repro.sim.campaign.run_campaign` re-exported under the facade:
+    results land in the durable :class:`FingerprintStore`, a manifest
+    checkpoints the plan, already-recorded fingerprints are not
+    re-simulated (``resume``), and ``shard=(i, n)`` runs one round-robin
+    slice so independent processes merge through the shared store.
+    """
+    return _campaign_run_campaign(specs, store, workers=workers, shard=shard,
+                                  resume=resume, name=name, progress=progress)
 
 
 def sweep(
@@ -98,12 +149,13 @@ def sweep(
     options: Optional[ExecOptions] = None,
     workers: int = 1,
     cache: Optional[ResultCache] = None,
+    store: "FingerprintStore | Path | str | None" = None,
 ) -> dict[tuple[str, str], RunResult]:
     """Run the arch × workload cross product; results keyed ``(arch, wl)``.
 
     ``workloads`` defaults to all eight registered benchmarks.  The grid
     is workload-major (the figures' iteration order) and shares
-    :func:`run_batch`'s dedup/cache machinery.
+    :func:`run_batch`'s dedup/cache/store machinery.
     """
     if workloads is None:
         workloads = workload_names()
@@ -114,5 +166,5 @@ def sweep(
         for wl in workloads
         for a in arches
     ]
-    results = run_batch(specs, workers=workers, cache=cache)
+    results = run_batch(specs, workers=workers, cache=cache, store=store)
     return {(s.arch, s.workload): r for s, r in zip(specs, results)}

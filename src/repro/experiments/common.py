@@ -8,10 +8,11 @@ from typing import Optional, Sequence
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim.cache import ResultCache
-from repro.sim.campaign import cross, run_batch
+from repro.sim.campaign import cross, run_batch, run_campaign
 from repro.sim.driver import RunResult
 from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
+from repro.sim.store import FingerprintStore
 from repro.workloads.registry import workload_names
 
 #: benchmark order used on every figure's x axis (the paper orders by
@@ -34,6 +35,55 @@ def _trace_progress(trace_dir: Optional["Path | str"]):
     return TraceWriter(trace_dir)
 
 
+class ShardIncomplete(RuntimeError):
+    """A sharded campaign ran its slice, but the merged result set is not
+    yet complete - the experiment's table cannot be assembled.  Carries
+    the campaign accounting so the CLI can report progress instead."""
+
+    def __init__(self, name: str, have: int, total: int,
+                 shard: Optional[tuple[int, int]], simulated: int):
+        self.name = name
+        self.have = have  #: fingerprints now in the store
+        self.total = total  #: unique fingerprints in the whole campaign
+        self.shard = shard
+        self.simulated = simulated  #: specs this process simulated
+        tag = f"shard {shard[0]}/{shard[1]}" if shard else "campaign"
+        super().__init__(
+            f"{name}: {tag} done ({simulated} simulated); store holds "
+            f"{have}/{total} campaign specs - run the remaining shards "
+            f"against the same --store, then re-run to merge"
+        )
+
+
+def _run_specs(
+    specs: Sequence[RunSpec],
+    cache: Optional[ResultCache],
+    workers: int,
+    progress,
+    store: "FingerprintStore | Path | str | None" = None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
+    campaign: Optional[str] = None,
+) -> list[RunResult]:
+    """One dispatch point for every experiment: the plain cached batch, or
+    (with ``store``) a durable resume/shard-able campaign.  Raises
+    :class:`ShardIncomplete` when other shards still owe results."""
+    if store is None:
+        if shard is not None:
+            raise ValueError("sharding requires a persistent store "
+                             "(pass store=, or --store on the CLI)")
+        return run_batch(specs, workers=workers, cache=cache,
+                         progress=progress)
+    report = run_campaign(specs, store, workers=workers, shard=shard,
+                          resume=resume, name=campaign, progress=progress)
+    gathered = report.gather(specs)
+    if any(r is None for r in gathered):
+        have = report.plan.campaign_total - len(report.missing(specs))
+        raise ShardIncomplete(report.name, have, report.plan.campaign_total,
+                              shard, report.misses)
+    return gathered
+
+
 def cached_run(
     arch: str,
     workload: str,
@@ -46,11 +96,13 @@ def cached_run(
     trace_dir: Optional["Path | str"] = None,
     backend: str = "reference",
     options: Optional[ExecOptions] = None,
+    store: "FingerprintStore | Path | str | None" = None,
 ) -> RunResult:
     """`run` with optional disk caching keyed on the full configuration.
 
     ``options`` supersedes the flat ``sanitize``/``trace``/``backend``
-    shims (mixing the two is an error)."""
+    shims (mixing the two is an error).  ``store`` swaps the session
+    cache for the durable fingerprint store."""
     if options is None:
         options = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     elif (sanitize, trace, backend) != (False, False, "reference"):
@@ -58,7 +110,7 @@ def cached_run(
     spec = RunSpec(arch, workload, config=config, n_records=n_records, seed=seed,
                    options=options)
     writer = _trace_progress(trace_dir if options.trace else None)
-    out = run_batch([spec], workers=1, cache=cache, progress=writer)[0]
+    out = _run_specs([spec], cache, 1, writer, store=store)[0]
     if writer is not None:
         writer.finish()
     return out
@@ -69,13 +121,20 @@ def batch_run(
     cache: Optional[ResultCache] = None,
     workers: int = 1,
     trace_dir: Optional["Path | str"] = None,
+    store: "FingerprintStore | Path | str | None" = None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
+    campaign: Optional[str] = None,
 ) -> dict[RunSpec, RunResult]:
     """`run_batch` returning a spec -> result mapping (experiment modules
     index results by (arch, workload) via their spec objects).  With
     ``trace_dir`` set, every traced result's artifacts plus a campaign
-    ``index.json`` are written there as results land."""
+    ``index.json`` are written there as results land.  With ``store``
+    set, results persist in the fingerprint store and ``shard``/``resume``
+    gain their campaign semantics (docs/campaigns.md)."""
     writer = _trace_progress(trace_dir)
-    results = run_batch(specs, workers=workers, cache=cache, progress=writer)
+    results = _run_specs(specs, cache, workers, writer, store=store,
+                         shard=shard, resume=resume, campaign=campaign)
     if writer is not None:
         writer.finish()
     return dict(zip(specs, results))
@@ -94,11 +153,16 @@ def sweep(
     trace_dir: Optional["Path | str"] = None,
     backend: str = "reference",
     options: Optional[ExecOptions] = None,
+    store: "FingerprintStore | Path | str | None" = None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
+    campaign: Optional[str] = None,
 ) -> dict[str, dict[str, RunResult]]:
     """results[workload][arch] for the full cross product.
 
     ``options`` supersedes the flat ``sanitize``/``trace``/``backend``
-    shims (mixing the two is an error)."""
+    shims (mixing the two is an error).  ``store``/``shard``/``resume``
+    run the sweep as a persistent campaign (docs/campaigns.md)."""
     if options is None:
         options = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     elif (sanitize, trace, backend) != (False, False, "reference"):
@@ -106,7 +170,8 @@ def sweep(
     specs = cross(arches, benches, config=config, n_records=n_records, seed=seed,
                   options=options)
     writer = _trace_progress(trace_dir if options.trace else None)
-    results = run_batch(specs, workers=workers, cache=cache, progress=writer)
+    results = _run_specs(specs, cache, workers, writer, store=store,
+                         shard=shard, resume=resume, campaign=campaign)
     if writer is not None:
         writer.finish()
     out: dict[str, dict[str, RunResult]] = {wl: {} for wl in benches}

@@ -37,10 +37,14 @@ def run_experiment(
     trace: bool = False,
     trace_dir=None,
     backend: str = "reference",
+    store=None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
 ) -> ExperimentResult:
     results = sweep(FIG4_ARCHES, BENCHES, config, n_records, cache,
                     workers=workers, sanitize=sanitize, trace=trace,
-                    trace_dir=trace_dir, backend=backend)
+                    trace_dir=trace_dir, backend=backend, store=store,
+                    shard=shard, resume=resume, campaign="fig4")
 
     rows = []
     for wl in BENCHES:

@@ -37,6 +37,9 @@ def run_experiment(
     trace: bool = False,
     trace_dir=None,
     backend: str = "reference",
+    store=None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {
@@ -46,7 +49,8 @@ def run_experiment(
         for a in ("millipede-rm", "multicore")
     }
     results = batch_run(list(specs.values()), cache=cache, workers=workers,
-                        trace_dir=trace_dir if trace else None)
+                        trace_dir=trace_dir if trace else None, store=store,
+                        shard=shard, resume=resume, campaign="fig5")
     rows = []
     speedups, energy_gains, ed_gains = [], [], []
     n_proc = config.n_processors

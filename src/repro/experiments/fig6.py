@@ -29,6 +29,9 @@ def run_experiment(
     trace: bool = False,
     trace_dir=None,
     backend: str = "reference",
+    store=None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     # one batch across both system sizes (specs carry their own config)
@@ -40,7 +43,8 @@ def run_experiment(
         for a in ARCHES
     }
     batch = batch_run(list(specs.values()), cache=cache, workers=workers,
-                      trace_dir=trace_dir if trace else None)
+                      trace_dir=trace_dir if trace else None, store=store,
+                      shard=shard, resume=resume, campaign="fig6")
     # results[size][arch][wl]
     res: dict[int, dict[str, dict[str, float]]] = {
         size: {a: {} for a in ARCHES} for size in SIZES

@@ -35,6 +35,9 @@ def run_experiment(
     trace: bool = False,
     trace_dir=None,
     backend: str = "reference",
+    store=None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {}
@@ -47,7 +50,8 @@ def run_experiment(
             specs[entries, wl] = RunSpec("millipede", wl, config=cfg,
                                          n_records=n_records, options=opts)
     batch = batch_run(list(specs.values()), cache=cache, workers=workers,
-                      trace_dir=trace_dir if trace else None)
+                      trace_dir=trace_dir if trace else None, store=store,
+                      shard=shard, resume=resume, campaign="fig7")
     tput: dict[str, dict[int, float]] = {wl: {} for wl in FIG7_BENCHES}
     for (entries, wl), spec in specs.items():
         tput[wl][entries] = batch[spec].throughput_words_per_s

@@ -18,8 +18,10 @@ from pathlib import Path
 
 from repro.config import DEFAULT_CONFIG
 from repro.experiments import EXPERIMENTS
-from repro.experiments.common import default_cache
+from repro.experiments.common import ShardIncomplete, default_cache
 from repro.experiments.report import write_markdown
+from repro.sim.campaign import parse_shard
+from repro.sim.store import FingerprintStore
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +76,34 @@ def build_parser() -> argparse.ArgumentParser:
         "heap for a calendar queue, both for wall-clock speed",
     )
     p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent fingerprint store (docs/campaigns.md): completed "
+        "specs are recorded durably under DIR and never re-simulated - a "
+        "killed run resumes where its store left off, independent "
+        "processes/hosts merge through the same DIR, and after a config "
+        "change only specs whose fingerprints changed are re-simulated; "
+        "supersedes the session result cache",
+    )
+    p.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --store: serve fingerprints already in the store "
+        "(default); --no-resume re-simulates every spec while still "
+        "recording the fresh results",
+    )
+    p.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="with --store: run only the I-th of N round-robin slices of "
+        "the campaign's deduplicated spec list (1-based, e.g. 2/3); "
+        "shards merge through the shared store, and the table prints "
+        "once every shard has run",
+    )
+    p.add_argument(
         "--no-cache",
         action="store_true",
         help="re-simulate even if a cached result exists",
@@ -99,7 +129,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one worker per CPU)")
-    cache = None if args.no_cache else default_cache()
+    shard = None
+    if args.shard is not None:
+        if args.store is None:
+            parser.error("--shard requires --store (shards merge through "
+                         "the shared fingerprint store)")
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            parser.error(str(exc))
+    store = FingerprintStore(args.store) if args.store is not None else None
+    # the durable store supersedes the session cache: one result tier
+    cache = None if (args.no_cache or store is not None) else default_cache()
     if args.clear_cache and cache is not None:
         n = cache.clear()
         print(f"cleared {n} cached results")
@@ -108,21 +149,34 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.which == "all" else [args.which]
     trace_dir = Path(args.trace) if args.trace is not None else None
     results = []
+    incomplete = []
     for name in names:
         t0 = time.perf_counter()
-        res = EXPERIMENTS[name].run_experiment(
-            DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs,
-            sanitize=args.sanitize,
-            trace=trace_dir is not None,
-            trace_dir=trace_dir / name if trace_dir is not None else None,
-            backend=args.backend,
-        )
+        try:
+            res = EXPERIMENTS[name].run_experiment(
+                DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs,
+                sanitize=args.sanitize,
+                trace=trace_dir is not None,
+                trace_dir=trace_dir / name if trace_dir is not None else None,
+                backend=args.backend,
+                store=store,
+                shard=shard,
+                resume=args.resume,
+            )
+        except ShardIncomplete as exc:
+            incomplete.append(name)
+            print(f"== {name}: {exc}\n")
+            continue
         results.append(res)
         print(res.text())
         print(f"[{name} took {time.perf_counter() - t0:.1f}s]\n")
     if trace_dir is not None:
         print(f"trace artifacts under {trace_dir}/ (load the *.trace.json "
               "files in chrome://tracing or https://ui.perfetto.dev)")
+    if incomplete:
+        print(f"{len(incomplete)} campaign(s) not yet merged "
+              f"({', '.join(incomplete)}); store: {store.root} "
+              f"({len(store)} records)")
 
     if args.write_md:
         path = write_markdown(results, Path(args.write_md))

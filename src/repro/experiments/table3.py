@@ -44,7 +44,12 @@ def run_experiment(
     trace: bool = False,
     trace_dir=None,
     backend: str = "reference",
+    store=None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
 ) -> ExperimentResult:
+    # table3 runs no simulations; store/shard/resume are accepted for CLI
+    # uniformity and ignored
     rows = [[name, paper, get(config)] for name, paper, get in _ROWS]
     return ExperimentResult(
         name="table3",

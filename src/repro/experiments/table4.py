@@ -41,6 +41,9 @@ def run_experiment(
     trace: bool = False,
     trace_dir=None,
     backend: str = "reference",
+    store=None,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {
@@ -50,7 +53,8 @@ def run_experiment(
         for a in ("ssmc", "millipede-rm")
     }
     results = batch_run(list(specs.values()), cache=cache, workers=workers,
-                        trace_dir=trace_dir if trace else None)
+                        trace_dir=trace_dir if trace else None, store=store,
+                        shard=shard, resume=resume, campaign="table4")
     rows = []
     for wl in BENCHES:
         ssmc = results[specs["ssmc", wl]]

@@ -3,19 +3,27 @@
 Full-figure sweeps re-run dozens of simulations; the cache keys each run
 by (architecture, workload, record count, seed, config fingerprint) so the
 experiment harness and the benchmark suite never repeat identical runs.
+
+This is the *session* tier: one JSON file per result, written only from
+the campaign parent process (never from pool workers), with no
+crash-consistency story.  The *durable* tier - append-only records, an
+atomic index, safe concurrent writers, resume/shard/delta campaigns - is
+:class:`repro.sim.store.FingerprintStore`; both serialize results through
+the same :func:`~repro.sim.store.result_to_payload` /
+:func:`~repro.sim.store.result_from_payload` pair, so they store
+interchangeable payloads.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 from pathlib import Path
 from typing import Optional
 
 from repro.config import SystemConfig
-from repro.energy.model import EnergyBreakdown
 from repro.sim.driver import RunResult
 from repro.sim.spec import RunSpec
+from repro.sim.store import result_from_payload, result_to_payload
 
 
 def config_fingerprint(cfg: SystemConfig) -> str:
@@ -45,25 +53,14 @@ class ResultCache:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             return None
-        payload["energy"] = EnergyBreakdown(**payload["energy"])
-        payload.pop("reduced", None)
-        payload.pop("trace", None)
-        return RunResult(reduced={}, trace=None, **payload)
+        return result_from_payload(payload)
 
     def put(self, result: RunResult, n_records: Optional[int],
             seed: int, cfg: SystemConfig) -> Path:
         path = self._path(result.arch, result.workload, n_records, seed, cfg)
-        payload = dataclasses.asdict(result)
-        payload.pop("reduced", None)  # numpy arrays are not JSON-portable
-        payload.pop("trace", None)    # trace artifacts are written to disk
-        #                               by repro.trace, not the result cache
-        payload["energy"] = {
-            "core_dynamic_j": result.energy.core_dynamic_j,
-            "idle_j": result.energy.idle_j,
-            "dram_j": result.energy.dram_j,
-            "leakage_j": result.energy.leakage_j,
-        }
-        path.write_text(json.dumps(payload))
+        # reduced (numpy) and trace artifacts are dropped by the shared
+        # payload serializer; repro.trace owns trace persistence
+        path.write_text(json.dumps(result_to_payload(result)))
         return path
 
     # ------------------------------------------------------------------

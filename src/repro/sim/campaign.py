@@ -5,9 +5,10 @@ each a pure function of its :class:`RunSpec`.  :func:`run_batch` exploits
 that:
 
 * **dedup** - identical specs (by content hash) are simulated once,
-* **cache** - the parent process consults/populates a
-  :class:`~repro.sim.cache.ResultCache` before and after dispatch, so
-  workers never touch the cache directory (no concurrent-write races),
+* **cache** - the parent process consults/populates a result tier (the
+  session-scoped :class:`~repro.sim.cache.ResultCache` or the durable
+  :class:`~repro.sim.store.FingerprintStore`) before and after dispatch,
+  so workers never touch the cache directory (no concurrent-write races),
 * **fan-out** - cache misses are distributed over a ``multiprocessing``
   pool; each worker keeps a per-process :class:`BuiltWorkload` memo keyed
   by :meth:`RunSpec.build_key`, so the dataset/kernel for one
@@ -15,28 +16,42 @@ that:
   (the same reuse ``run_many`` performs in-process),
 * **progress** - an optional callback receives a :class:`BatchProgress`
   event as each result lands (cache hits first, then live results in
-  completion order).
+  completion order), carrying cumulative hit/miss counters.
 
 Simulations are deterministic, so ``run_batch(specs, workers=N)`` returns
 bit-identical results for any ``N`` (only the ``host_seconds`` wall-clock
 field varies).
 
->>> from repro.sim.campaign import cross, run_batch
+:func:`run_campaign` layers durability on top (see ``docs/campaigns.md``):
+results land in a :class:`~repro.sim.store.FingerprintStore`, a manifest
+checkpoints the planned fingerprint list, a killed campaign **resumes**
+with only the missing fingerprints re-simulated, independent processes
+**shard** one spec list (``shard=(i, n)``) and merge through the shared
+store, and a config change turns into a **delta campaign** - only specs
+whose fingerprints changed are simulated (:func:`plan_campaign` previews
+exactly which).
+
+>>> from repro.sim.campaign import cross, run_batch, run_campaign
 >>> specs = cross(["ssmc", "millipede"], ["count", "kmeans"], n_records=2048)
 >>> results = run_batch(specs, workers=4)          # doctest: +SKIP
+>>> report = run_campaign(specs, store="campaign_store")  # doctest: +SKIP
+>>> report.misses                                  # doctest: +SKIP
+0
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim.cache import ResultCache
 from repro.sim.driver import RunResult, _execute
 from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
+from repro.sim.store import FingerprintStore, plan_fingerprint
 from repro.workloads.base import BuiltWorkload
 from repro.workloads.registry import get_workload
 
@@ -54,9 +69,17 @@ class BatchProgress:
 
     spec: RunSpec
     result: RunResult
-    cached: bool  #: served from the ResultCache without simulating
+    cached: bool  #: served from the cache/store tier without simulating
     done: int  #: completed unique specs so far (including this one)
     total: int  #: unique specs in the batch
+    #: cumulative cache/store hits so far (including this event when
+    #: ``cached``); in a resumed campaign this is the resumed-spec count
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Cumulative live simulations so far."""
+        return self.done - self.hits
 
     @property
     def host_seconds(self) -> float:
@@ -73,7 +96,8 @@ class BatchProgress:
 
     def __str__(self) -> str:
         tag = "cached" if self.cached else f"{self.host_seconds:.2f}s"
-        return f"[{self.done}/{self.total}] {self.spec} ({tag})"
+        return (f"[{self.done}/{self.total}] {self.spec} ({tag}; "
+                f"{self.hits} hit / {self.misses} miss)")
 
 
 def cross(
@@ -141,7 +165,9 @@ def run_batch(
 
     ``workers > 1`` fans cache misses out over a process pool; ``workers
     <= 1`` runs serially in-process.  Duplicate specs are simulated once
-    and share one result object.  The cache (if given) is consulted and
+    and share one result object.  ``cache`` is any result tier with
+    ``get_spec``/``put_spec`` (a :class:`ResultCache` or a durable
+    :class:`~repro.sim.store.FingerprintStore`); it is consulted and
     populated only from the calling process.
     """
     specs = list(specs)
@@ -157,17 +183,20 @@ def run_batch(
 
     total = len(unique)
     done = 0
+    hits = 0
     results: dict[str, RunResult] = {}
 
     def _finish(spec_hash: str, result: RunResult, cached: bool) -> None:
-        nonlocal done
+        nonlocal done, hits
         results[spec_hash] = result
         done += 1
+        hits += cached
         if not cached and cache is not None:
             spec = unique[spec_hash]
             cache.put_spec(spec, result)
         if progress is not None:
-            progress(BatchProgress(unique[spec_hash], result, cached, done, total))
+            progress(BatchProgress(unique[spec_hash], result, cached, done,
+                                   total, hits))
 
     pending: list[tuple[str, RunSpec]] = []
     for spec_hash, spec in unique.items():
@@ -191,3 +220,205 @@ def run_batch(
                 _finish(spec_hash, _run_with_memo(spec, memo), cached=False)
 
     return [results[spec.content_hash()] for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# persistent campaigns: resume, shard, delta (docs/campaigns.md)
+# ----------------------------------------------------------------------
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``"i/n"`` (1-based) into ``(i, n)``; e.g. ``"2/3"``."""
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(f"shard must look like 'i/n' (e.g. 2/3), got {text!r}")
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard {text!r}: need 1 <= i <= n")
+    return index, count
+
+
+def dedup_specs(specs: Iterable[RunSpec]) -> dict[str, RunSpec]:
+    """fingerprint -> spec, first-seen order (the campaign's canonical
+    ordering; sharding and manifests both derive from it)."""
+    unique: dict[str, RunSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.content_hash(), spec)
+    return unique
+
+
+def shard_specs(specs: Iterable[RunSpec], index: int, count: int) -> list[RunSpec]:
+    """Deterministic 1-based shard ``index`` of ``count``: the deduped
+    campaign is split round-robin by position, so every spec lands in
+    exactly one shard regardless of which process computes the split."""
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard {index}/{count}: need 1 <= i <= n")
+    unique = dedup_specs(specs)
+    return [spec for pos, spec in enumerate(unique.values())
+            if pos % count == index - 1]
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """What :func:`run_campaign` would do, without doing it.
+
+    The delta-campaign primitive: build the new spec list (changed config
+    and all), plan it against the store, and ``to_run`` is exactly the
+    specs whose fingerprints are not already recorded."""
+
+    specs: list[RunSpec]  #: this shard's deduped specs, campaign order
+    fingerprints: list[str]  #: content hashes aligned with ``specs``
+    to_run: list[RunSpec]  #: specs missing from the store (would simulate)
+    done: list[str]  #: fingerprints already in the store (would resume)
+    campaign_total: int  #: unique specs in the whole campaign (all shards)
+    shard: Optional[tuple[int, int]] = None
+
+    @property
+    def complete(self) -> bool:
+        return not self.to_run
+
+
+def plan_campaign(
+    specs: Iterable[RunSpec],
+    store: "FingerprintStore | Path | str",
+    shard: Optional[tuple[int, int]] = None,
+) -> CampaignPlan:
+    """Plan ``specs`` against ``store``: dedup, shard-filter, and split
+    into already-recorded fingerprints vs. specs that need simulation."""
+    store = coerce_store(store)
+    store.refresh()
+    unique = dedup_specs(specs)
+    if shard is not None:
+        index, count = shard
+        mine = {fp: spec for pos, (fp, spec) in enumerate(unique.items())
+                if pos % count == index - 1}
+    else:
+        mine = unique
+    # traced specs always re-simulate (stored records carry no trace
+    # artifact; run_batch bypasses the tier for them the same way)
+    done = [fp for fp, spec in mine.items() if fp in store and not spec.trace]
+    to_run = [spec for fp, spec in mine.items()
+              if fp not in store or spec.trace]
+    return CampaignPlan(
+        specs=list(mine.values()),
+        fingerprints=list(mine),
+        to_run=to_run,
+        done=done,
+        campaign_total=len(unique),
+        shard=shard,
+    )
+
+
+def coerce_store(store: "FingerprintStore | Path | str") -> FingerprintStore:
+    if isinstance(store, FingerprintStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return FingerprintStore(store)
+    raise TypeError(
+        f"store must be a FingerprintStore or a directory path, "
+        f"got {type(store).__name__}"
+    )
+
+
+class _WriteOnlyTier:
+    """Store adapter for ``resume=False``: never serves hits, still
+    records every fresh result durably."""
+
+    def __init__(self, store: FingerprintStore):
+        self._store = store
+
+    def get_spec(self, spec: RunSpec) -> None:
+        return None
+
+    def put_spec(self, spec: RunSpec, result: RunResult) -> str:
+        return self._store.put_spec(spec, result)
+
+
+@dataclass
+class CampaignReport:
+    """What one :func:`run_campaign` call did, plus store-backed access
+    to the merged campaign (other shards' results included)."""
+
+    store: FingerprintStore
+    name: str  #: manifest name under ``<store>/manifests/``
+    plan: CampaignPlan
+    resumed: int  #: planned specs served from pre-existing records
+    hits: int  #: specs served without simulating (== ``resumed`` here)
+    misses: int  #: specs simulated by this call
+    results: dict[str, RunResult] = dc_field(default_factory=dict)
+
+    @property
+    def shard(self) -> Optional[tuple[int, int]]:
+        return self.plan.shard
+
+    def gather(self, specs: Sequence[RunSpec]) -> list[Optional[RunResult]]:
+        """Results aligned with ``specs``, merged across shards: this
+        call's live results where available, store-served otherwise,
+        ``None`` for fingerprints no shard has completed yet."""
+        self.store.refresh()
+        out: list[Optional[RunResult]] = []
+        for spec in specs:
+            fp = spec.content_hash()
+            result = self.results.get(fp)
+            out.append(result if result is not None else self.store.get(fp))
+        return out
+
+    def missing(self, specs: Sequence[RunSpec]) -> list[RunSpec]:
+        """Specs (deduped) still absent from the store - the work other
+        shards must finish before :meth:`gather` is complete."""
+        self.store.refresh()
+        return [spec for fp, spec in dedup_specs(specs).items()
+                if fp not in self.store]
+
+    def summary(self) -> str:
+        tag = (f" shard {self.shard[0]}/{self.shard[1]}"
+               if self.shard is not None else "")
+        return (f"campaign {self.name!r}{tag}: {len(self.plan.specs)} specs, "
+                f"{self.hits} resumed from store, {self.misses} simulated "
+                f"({len(self.store)} records in store)")
+
+
+def run_campaign(
+    specs: Iterable[RunSpec],
+    store: "FingerprintStore | Path | str",
+    workers: int = 1,
+    shard: Optional[tuple[int, int]] = None,
+    resume: bool = True,
+    name: Optional[str] = None,
+    progress: Optional[Callable[[BatchProgress], None]] = None,
+) -> CampaignReport:
+    """Run a campaign against a persistent :class:`FingerprintStore`.
+
+    The durable counterpart of :func:`run_batch`: the deduped spec list is
+    checkpointed as a manifest, fingerprints already recorded in the store
+    are **not** re-simulated (``resume=True``; a killed campaign picks up
+    where its store left off), ``shard=(i, n)`` runs only the i-th
+    round-robin slice (independent processes/hosts merge through the
+    shared store directory), and ``resume=False`` forces re-simulation of
+    every planned spec while still appending the fresh records.
+
+    Returns a :class:`CampaignReport`; use :meth:`CampaignReport.gather`
+    to assemble the merged result list once every shard has run.
+    """
+    store = coerce_store(store)
+    specs = list(specs)
+    plan = plan_campaign(specs, store, shard=shard)
+    if name is None:
+        name = "c-" + plan_fingerprint(list(dedup_specs(specs)))
+    store.write_manifest(name, specs, shard=shard)
+
+    tier = store if resume else _WriteOnlyTier(store)
+    batch = run_batch(plan.specs, workers=workers, cache=tier,
+                      progress=progress)
+    store.write_index()
+
+    results = {fp: result for fp, result in zip(plan.fingerprints, batch)}
+    resumed = len(plan.done) if resume else 0
+    return CampaignReport(
+        store=store,
+        name=store.safe_name(name),
+        plan=plan,
+        resumed=resumed,
+        hits=resumed,
+        misses=len(plan.specs) - resumed,
+        results=results,
+    )

@@ -1,0 +1,392 @@
+"""FingerprintStore: a persistent, crash-safe, content-addressed result store.
+
+Campaigns (fig3-fig7, table4, and the design-space sweeps of ROADMAP item
+4) are hundreds of independent simulations, each a pure function of its
+:class:`~repro.sim.spec.RunSpec`.  The store makes that purity durable:
+every completed result is recorded on disk under the spec's
+:meth:`~repro.sim.spec.RunSpec.content_hash` fingerprint, so a killed
+campaign resumes with zero re-simulation, independent shard processes
+merge through one directory, and a config change re-simulates only the
+specs whose fingerprints changed (see :mod:`repro.sim.campaign` and
+``docs/campaigns.md``).
+
+On-disk layout (all paths under the store root)::
+
+    log/<writer>.jsonl     append-only record segments, one per writer
+    index.json             atomic snapshot: fingerprint -> (segment, offset)
+    manifests/<name>.json  campaign checkpoints (planned fingerprint lists)
+
+Crash and concurrency model
+---------------------------
+* Each :class:`FingerprintStore` instance appends complete JSON lines to
+  its **own** segment file, so concurrent writer processes never share a
+  file descriptor and cannot interleave bytes.
+* A record is one ``write()`` of one newline-terminated line; a writer
+  killed mid-append leaves at most one torn tail line, which every reader
+  skips (it is not newline-terminated / not valid JSON).  Records are
+  flushed to the OS per append, so a SIGKILL'd process loses nothing it
+  reported finished.
+* ``index.json`` and manifests are written with the write-temp-then-
+  ``os.replace`` idiom, so readers observe either the old or the new
+  snapshot, never a partial file.  The index is purely an accelerator:
+  :meth:`refresh` (and :meth:`rebuild_index`) recover the exact same
+  mapping by scanning the append-only log.
+* Duplicate fingerprints are legal (re-simulation, racing shards);
+  deterministic simulations make the payloads interchangeable, and the
+  scan order (segments sorted by name, offsets ascending, later wins) makes
+  the served record deterministic.
+
+The store is duck-compatible with the parent-process-only
+:class:`~repro.sim.cache.ResultCache` (``get_spec``/``put_spec``) and
+replaces it as the durable tier of :func:`~repro.sim.campaign.run_batch`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import uuid
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from repro.energy.model import EnergyBreakdown
+from repro.sim.driver import RunResult
+from repro.sim.spec import RunSpec
+
+#: on-disk schema version stamped into records, index, and manifests
+SCHEMA = 1
+
+_LOG_DIR = "log"
+_MANIFEST_DIR = "manifests"
+_INDEX_NAME = "index.json"
+_NAME_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+# ----------------------------------------------------------------------
+# result serialization (shared with repro.sim.cache.ResultCache)
+# ----------------------------------------------------------------------
+def result_to_payload(result: RunResult) -> dict:
+    """JSON-portable dict of everything durable in a :class:`RunResult`.
+
+    ``reduced`` (numpy arrays) and ``trace`` (artifacts written by
+    :mod:`repro.trace`) are dropped - they are re-derivable or stored
+    elsewhere, and traced specs bypass the store entirely."""
+    payload = dataclasses.asdict(result)
+    payload.pop("reduced", None)
+    payload.pop("trace", None)
+    payload["energy"] = {
+        "core_dynamic_j": result.energy.core_dynamic_j,
+        "idle_j": result.energy.idle_j,
+        "dram_j": result.energy.dram_j,
+        "leakage_j": result.energy.leakage_j,
+    }
+    return payload
+
+
+def result_from_payload(payload: dict) -> RunResult:
+    """Inverse of :func:`result_to_payload` (``reduced``/``trace`` empty)."""
+    payload = dict(payload)
+    payload["energy"] = EnergyBreakdown(**payload["energy"])
+    payload.pop("reduced", None)
+    payload.pop("trace", None)
+    return RunResult(reduced={}, trace=None, **payload)
+
+
+def canonical_result_blob(result: "RunResult | dict") -> bytes:
+    """Byte-stable identity of a simulation *outcome*: sorted JSON of the
+    stored payload minus ``host_seconds`` - the only field allowed to
+    differ between bit-identical re-executions.  Two runs of the same
+    fingerprint must produce equal blobs (the resume/shard/delta tests
+    assert exactly this)."""
+    payload = (result_to_payload(result) if isinstance(result, RunResult)
+               else dict(result))
+    payload.pop("host_seconds", None)
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def plan_fingerprint(fingerprints: Sequence[str]) -> str:
+    """Stable short hash of an ordered fingerprint list (campaign identity)."""
+    blob = "\n".join(fingerprints).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class FingerprintStore:
+    """Append-only, multi-writer result store keyed by RunSpec fingerprints.
+
+    >>> store = FingerprintStore("campaign_store")        # doctest: +SKIP
+    >>> store.put_spec(spec, result)                      # doctest: +SKIP
+    >>> store.get_spec(spec).finish_ps                    # doctest: +SKIP
+    """
+
+    def __init__(self, root: "Path | str"):
+        self.root = Path(root)
+        self.log_dir = self.root / _LOG_DIR
+        self.manifest_dir = self.root / _MANIFEST_DIR
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_dir.mkdir(parents=True, exist_ok=True)
+        #: fingerprint -> (segment name, byte offset, byte length)
+        self._index: dict[str, tuple[str, int, int]] = {}
+        #: segment name -> bytes scanned so far (complete lines only)
+        self._scanned: dict[str, int] = {}
+        #: fingerprint -> parsed record (records read or written this process)
+        self._records: dict[str, dict] = {}
+        #: complete-but-unparseable lines seen while scanning (corruption)
+        self.corrupt_lines = 0
+        self._segment_name: Optional[str] = None
+        self._segment_file = None
+        self._load_index()
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def _load_index(self) -> None:
+        """Seed the in-memory index from the atomic snapshot, dropping
+        entries the log can no longer back (defensive; the snapshot is an
+        accelerator, never the source of truth)."""
+        path = self.root / _INDEX_NAME
+        try:
+            snap = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(snap, dict) or snap.get("schema") != SCHEMA:
+            return
+        sizes: dict[str, int] = {}
+        for name, scanned in sorted(snap.get("segments", {}).items()):
+            seg = self.log_dir / name
+            try:
+                size = seg.stat().st_size
+            except OSError:
+                continue
+            if size >= scanned:  # append-only: shorter means a foreign reset
+                sizes[name] = size
+                self._scanned[name] = int(scanned)
+        for fp, loc in snap.get("records", {}).items():
+            name, offset, length = loc
+            if name in sizes and offset + length <= sizes[name]:
+                self._index[fp] = (name, int(offset), int(length))
+
+    def refresh(self) -> int:
+        """Scan log segments for records appended since the last scan
+        (other writers' segments included).  Returns how many new records
+        were indexed.  Torn tail lines (a writer killed mid-append, or one
+        still writing) are left unscanned and retried on the next call."""
+        found = 0
+        for seg in sorted(self.log_dir.glob("*.jsonl")):
+            name = seg.name
+            start = self._scanned.get(name, 0)
+            try:
+                with seg.open("rb") as f:
+                    f.seek(start)
+                    data = f.read()
+            except OSError:
+                continue
+            offset = start
+            for line in data.split(b"\n")[:-1]:  # last chunk: torn or empty
+                length = len(line) + 1
+                if line:
+                    fp = self._index_line(name, offset, line)
+                    if fp is not None:
+                        found += 1
+                offset += length
+            self._scanned[name] = offset
+        return found
+
+    def _index_line(self, name: str, offset: int, line: bytes) -> Optional[str]:
+        try:
+            rec = json.loads(line)
+            fp = rec["fingerprint"]
+        except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError):
+            self.corrupt_lines += 1
+            return None
+        self._index[fp] = (name, offset, len(line) + 1)
+        self._records[fp] = rec
+        return fp
+
+    def get_record(self, fingerprint: str) -> Optional[dict]:
+        """The full stored record (``fingerprint``/``spec``/``result``)."""
+        rec = self._records.get(fingerprint)
+        if rec is not None:
+            return rec
+        loc = self._index.get(fingerprint)
+        if loc is None:
+            return None
+        name, offset, length = loc
+        try:
+            with (self.log_dir / name).open("rb") as f:
+                f.seek(offset)
+                line = f.read(length)
+            rec = json.loads(line)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        self._records[fingerprint] = rec
+        return rec
+
+    def get(self, fingerprint: str) -> Optional[RunResult]:
+        rec = self.get_record(fingerprint)
+        if rec is None:
+            return None
+        try:
+            return result_from_payload(rec["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def get_spec(self, spec: RunSpec) -> Optional[RunResult]:
+        return self.get(spec.content_hash())
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _own_segment(self):
+        """This writer's append-only segment (created on first write)."""
+        if self._segment_file is None:
+            self._segment_name = f"w{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+            self._segment_file = (self.log_dir / self._segment_name).open("ab")
+        return self._segment_file
+
+    def put(self, spec: RunSpec, result: RunResult) -> str:
+        """Append one record; returns the fingerprint.  The line is flushed
+        to the OS before returning, so a subsequent SIGKILL cannot lose it."""
+        fp = spec.content_hash()
+        rec = {
+            "schema": SCHEMA,
+            "fingerprint": fp,
+            "spec": spec.to_dict(),
+            "result": result_to_payload(result),
+        }
+        line = (json.dumps(rec, sort_keys=True) + "\n").encode()
+        f = self._own_segment()
+        offset = f.tell()
+        f.write(line)
+        f.flush()
+        self._index[fp] = (self._segment_name, offset, len(line))
+        self._scanned[self._segment_name] = offset + len(line)
+        self._records[fp] = rec
+        return fp
+
+    def put_spec(self, spec: RunSpec, result: RunResult) -> str:
+        """ResultCache-compatible spelling of :meth:`put`."""
+        return self.put(spec, result)
+
+    def close(self) -> None:
+        if self._segment_file is not None:
+            self._segment_file.close()
+            self._segment_file = None
+
+    # ------------------------------------------------------------------
+    # index snapshot
+    # ------------------------------------------------------------------
+    def write_index(self) -> Path:
+        """Atomically snapshot the in-memory index to ``index.json``."""
+        snap = {
+            "schema": SCHEMA,
+            "segments": dict(sorted(self._scanned.items())),
+            "records": {
+                fp: list(loc) for fp, loc in sorted(self._index.items())
+            },
+        }
+        path = self.root / _INDEX_NAME
+        _atomic_write_text(path, json.dumps(snap, indent=1, sort_keys=True))
+        return path
+
+    def rebuild_index(self) -> Path:
+        """Drop every in-memory/on-disk index structure and rebuild the
+        mapping from the append-only log alone (recovery path)."""
+        self._index.clear()
+        self._scanned.clear()
+        self._records.clear()
+        self.corrupt_lines = 0
+        self.refresh()
+        return self.write_index()
+
+    # ------------------------------------------------------------------
+    # inventory
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> frozenset[str]:
+        return frozenset(self._index)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def records(self) -> Iterator[dict]:
+        """Every stored record, in deterministic fingerprint order."""
+        for fp in sorted(self._index):
+            rec = self.get_record(fp)
+            if rec is not None:
+                yield rec
+
+    # ------------------------------------------------------------------
+    # campaign manifests
+    # ------------------------------------------------------------------
+    @staticmethod
+    def safe_name(name: str) -> str:
+        return _NAME_RE.sub("-", name) or "campaign"
+
+    def manifest_path(self, name: str) -> Path:
+        return self.manifest_dir / f"{self.safe_name(name)}.json"
+
+    def write_manifest(self, name: str, specs: Sequence[RunSpec],
+                       shard: Optional[tuple[int, int]] = None) -> Path:
+        """Checkpoint a campaign plan: the ordered fingerprint list plus
+        each spec's dict, so a later process can resume or delta-plan the
+        campaign without re-deriving the spec list.  Atomic (replace)."""
+        import datetime
+
+        order: list[str] = []
+        by_fp: dict[str, dict] = {}
+        for spec in specs:
+            fp = spec.content_hash()
+            if fp not in by_fp:
+                order.append(fp)
+                by_fp[fp] = spec.to_dict()
+        # operational metadata for failure recovery, never simulation input
+        stamp = datetime.datetime.now(datetime.timezone.utc)  # repro-lint: disable=DET002
+        manifest = {
+            "schema": SCHEMA,
+            "name": self.safe_name(name),
+            "plan": plan_fingerprint(order),
+            "total": len(order),
+            "order": order,
+            "specs": by_fp,
+            "shard": list(shard) if shard is not None else None,
+            "saved_iso": stamp.isoformat(timespec="seconds"),
+        }
+        path = self.manifest_path(name)
+        _atomic_write_text(path, json.dumps(manifest, indent=1, sort_keys=True))
+        return path
+
+    def read_manifest(self, name: str) -> Optional[dict]:
+        try:
+            manifest = json.loads(self.manifest_path(name).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(manifest, dict) or manifest.get("schema") != SCHEMA:
+            return None
+        return manifest
+
+    def manifest_names(self) -> list[str]:
+        return sorted(p.stem for p in self.manifest_dir.glob("*.json"))
+
+    def manifest_specs(self, name: str) -> Optional[list[RunSpec]]:
+        """Reconstruct the planned spec list from a manifest (resume
+        without the original command line)."""
+        manifest = self.read_manifest(name)
+        if manifest is None:
+            return None
+        return [RunSpec.from_dict(manifest["specs"][fp])
+                for fp in manifest["order"]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FingerprintStore({str(self.root)!r}, records={len(self)})"

@@ -27,9 +27,23 @@ def cmd_disasm(args: argparse.Namespace) -> int:
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
-    result = run(args.arch, args.workload, n_records=args.records,
-                 sanitize=args.sanitize, trace=args.trace is not None,
-                 trace_interval_ps=args.trace_interval_ps)
+    if args.store is not None and args.trace is None:
+        # durable path: serve the spec from the fingerprint store when its
+        # record exists, simulate-and-record otherwise (traced runs always
+        # simulate, so they take the live path below)
+        from repro.sim.campaign import run_campaign
+        from repro.sim.options import ExecOptions
+        from repro.sim.spec import RunSpec
+
+        spec = RunSpec(args.arch, args.workload, n_records=args.records,
+                       options=ExecOptions(sanitize=args.sanitize))
+        report = run_campaign([spec], args.store, name="inspect")
+        print(report.summary())
+        result = report.gather([spec])[0]
+    else:
+        result = run(args.arch, args.workload, n_records=args.records,
+                     sanitize=args.sanitize, trace=args.trace is not None,
+                     trace_interval_ps=args.trace_interval_ps)
     print(result.summary())
     if result.trace is not None:
         stem = f"{args.arch}-{args.workload}"
@@ -124,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "traces/); composes with --sanitize")
     i.add_argument("--trace-interval-ps", type=int, default=None, metavar="PS",
                    help="timeline sampling cadence in simulated picoseconds")
+    i.add_argument("--store", metavar="DIR", default=None,
+                   help="serve/record the run through a persistent "
+                   "fingerprint store (docs/campaigns.md); a repeated "
+                   "inspect is then a store hit, not a re-simulation "
+                   "(ignored for --trace runs, which always simulate)")
     i.set_defaults(fn=cmd_inspect)
 
     l = sub.add_parser("layout", help="dump a workload's address layout")

@@ -68,7 +68,9 @@ def record_bench(section: str, payload: dict, file: str = "interp") -> Path:
     path = BENCH_PATHS[file]
     data = _load(path)
     now = time.time()
-    data["schema"] = 1
+    # schema 2: the interp section nests per-arch sections under "arches"
+    # (schema 1 was one flat millipede section)
+    data["schema"] = 2
     data["generated_unix"] = now
     # human-readable ISO-8601 UTC alongside the raw float
     data["generated_iso"] = datetime.datetime.fromtimestamp(

@@ -27,21 +27,38 @@ TOLERANCE = 0.75
 MIN_GATED_BASELINE = 2.0
 
 
+def _arch_sections(payload: dict) -> dict:
+    """Per-arch interp sections from either schema: schema 2 nests them
+    under ``arches``; a schema-1 payload was one flat millipede section."""
+    if not payload:
+        return {}
+    if "arches" in payload:
+        return payload["arches"]
+    if "workloads" in payload:
+        return {payload.get("arch", "millipede"): payload}
+    return {}
+
+
 def _gated_pairs():
     """(label, baseline_speedup, recorded_speedup) for every comparable
-    ratio recorded this session."""
+    ratio recorded this session.  Arches or workloads absent from the
+    committed baseline are skipped, not errors — the gate must survive
+    schema growth (new arches land with no baseline to compare yet)."""
     pairs = []
 
-    interp = RECORDED["interp"].get("interp")
-    base_interp = BASELINES["interp"].get("interp", {})
-    if interp:
-        for wl, timing in sorted(interp.get("workloads", {}).items()):
-            base = base_interp.get("workloads", {}).get(wl, {}).get("speedup")
+    recorded = _arch_sections(RECORDED["interp"].get("interp") or {})
+    baseline = _arch_sections(BASELINES["interp"].get("interp", {}))
+    for arch, section in sorted(recorded.items()):
+        base_section = baseline.get(arch)
+        if base_section is None:
+            continue  # arch not in the committed baseline yet
+        for wl, timing in sorted(section.get("workloads", {}).items()):
+            base = base_section.get("workloads", {}).get(wl, {}).get("speedup")
             if base is not None:
-                pairs.append((f"interp:{wl}", base, timing["speedup"]))
-        if "best_speedup" in base_interp:
-            pairs.append(("interp:best", base_interp["best_speedup"],
-                          interp["best_speedup"]))
+                pairs.append((f"interp:{arch}:{wl}", base, timing["speedup"]))
+        if "best_speedup" in base_section:
+            pairs.append((f"interp:{arch}:best", base_section["best_speedup"],
+                          section["best_speedup"]))
 
     for section in ("batch", "store"):
         rec = RECORDED["campaign"].get(section)

@@ -88,7 +88,11 @@ class GpgpuSM:
         input_end_word: int,
         warp_width: Optional[int] = None,
         layout=None,
+        backend: str = "reference",
     ):
+        if backend not in ("reference", "vector"):
+            raise ValueError(f"unknown SM backend {backend!r}")
+        self.backend = backend
         self.engine = engine
         self.config = config
         self.program = program
@@ -156,6 +160,10 @@ class GpgpuSM:
         #: ``on_warp_instr(warp)`` before each warp instruction and
         #: ``on_warp_done(warp)`` at halt.  Must not mutate state.
         self.observer = None
+        #: launch state captured for the vector backend's functional phase
+        self._thread_args: Optional[list] = None
+        self._initial_state = None
+        self._replay = None
 
         # accounting
         self.warp_instructions = 0      # I-cache fetches (amortized)
@@ -179,6 +187,7 @@ class GpgpuSM:
             )
         view = self.shared_mem.data.reshape(-1, self.n_threads_total)
         view[: len(state), :] = np.asarray(state)[:, None]
+        self._initial_state = np.asarray(state, dtype=np.float64)
 
     def set_thread_args(self, args_per_thread: list[dict[int, float]]) -> None:
         if len(args_per_thread) != self.n_threads_total:
@@ -187,8 +196,22 @@ class GpgpuSM:
             )
         for g, args in enumerate(args_per_thread):
             self.warps[g // self.width].lanes[g % self.width].set_args(args)
+        self._thread_args = args_per_thread
 
     def start(self) -> None:
+        if self.backend == "vector":
+            from repro.core.replay import SimtReplay, build_simt_plan
+
+            plan = build_simt_plan(self, self.config.core.n_registers)
+            self._replay = SimtReplay(self, plan)
+            # swap the per-warp-issue hot path for trace replay; with a
+            # sanitizer attached, the observed variant keeps the live
+            # PDOM stacks evolving for it
+            self._exec_warp = (
+                self._replay.exec_warp_observed
+                if self.observer is not None
+                else self._replay.exec_warp
+            )
         self._schedule_run(self.engine.now)
 
     # ------------------------------------------------------------------
@@ -413,6 +436,8 @@ class GpgpuSM:
 
     # ------------------------------------------------------------------
     def _finish(self, t: int) -> None:
+        if self._replay is not None:
+            self._replay.restore()
         self.finish_ps = t
         self.t = t
         self.stats.set("proc.finish_ps", t)

@@ -83,6 +83,9 @@ class MemoryController:
         self.queue: list[DramRequest] = []
         self.bus_free_ps = 0
         self._scheduled_kicks: set[int] = set()
+        #: per-epoch candidate buckets (hits, misses, starved), set by
+        #: ``_kick`` from one batched window scan; None outside an epoch
+        self._window: Optional[tuple[list, list, list]] = None
         #: optional scheduling observer (:mod:`repro.sanitize`); receives
         #: ``on_bank_assign`` / ``on_bus_grant`` / ``on_complete`` events
         #: with enough pre-mutation state to re-derive timing legality.
@@ -143,6 +146,57 @@ class MemoryController:
                 best_miss = req
         return best_hit, best_miss, starved
 
+    def _scan_window(self) -> tuple[list, list, list]:
+        """One batched pass over the FR-FCFS window, bucketing every
+        bank's candidates at once: ``(hits, misses, starved)``, each a
+        per-bank list holding the lowest-seq matching request (the queue
+        is in seq order, so the first match wins).  Replaces the per-bank
+        re-scan of :meth:`_bank_candidates` at epoch scheduling points —
+        O(window + banks) instead of O(banks × window) — and is kept
+        decision-identical by :meth:`_admit_to_window` as assignments
+        shift the window."""
+        banks = self.banks
+        now = self.engine.now
+        n = len(banks)
+        hits: list[Optional[DramRequest]] = [None] * n
+        misses: list[Optional[DramRequest]] = [None] * n
+        starved: list[Optional[DramRequest]] = [None] * n
+        for req in self.queue[: self.cfg.controller_queue_depth]:
+            b = req.bank
+            if now - req.arrival_ps > _STARVATION_PS and starved[b] is None:
+                starved[b] = req
+            if req.row == banks[b].open_row:
+                if hits[b] is None:
+                    hits[b] = req
+            elif misses[b] is None:
+                misses[b] = req
+        return hits, misses, starved
+
+    def _admit_to_window(self, window: tuple[list, list, list]) -> None:
+        """Account for a removal shifting the FR-FCFS window: the request
+        newly exposed at the window's tail has the *highest* seq inside
+        it, so it can only fill empty candidate slots — admitting it this
+        way reproduces a full re-scan exactly.  A bank that already has a
+        pending request is skipped: its candidate slots are never
+        consulted again within this epoch."""
+        depth = self.cfg.controller_queue_depth
+        if len(self.queue) < depth:
+            return
+        req = self.queue[depth - 1]
+        b = req.bank
+        bank = self.banks[b]
+        if bank.pending is not None:
+            return
+        hits, misses, starved = window
+        if (self.engine.now - req.arrival_ps > _STARVATION_PS
+                and starved[b] is None):
+            starved[b] = req
+        if req.row == bank.open_row:
+            if hits[b] is None:
+                hits[b] = req
+        elif misses[b] is None:
+            misses[b] = req
+
     def _assign_banks(self) -> None:
         """Pre-activate a row miss on every idle bank that has no queued
         row hit left (FR-FCFS: drain hits to the open row before closing
@@ -150,15 +204,20 @@ class MemoryController:
         now = self.engine.now
         t = self.timing
         obs = self.observer
+        window = self._window
+        if window is None:  # standalone call outside an epoch kick
+            window = self._scan_window()
+        hits, misses, starved_by_bank = window
         for bank_id, bank in enumerate(self.banks):
             if bank.pending is not None:
                 continue
-            best_hit, best_miss, starved = self._bank_candidates(bank_id, bank.open_row)
+            best_hit = hits[bank_id]
+            starved = starved_by_bank[bank_id]
             req = None
             if starved is not None and starved is not best_hit:
                 req = starved  # anti-starvation overrides hit-first
             elif best_hit is None:
-                req = best_miss
+                req = misses[bank_id]
             if req is None:
                 continue
             window_idx = self.queue.index(req) if obs is not None else -1
@@ -168,14 +227,16 @@ class MemoryController:
             self.stats.inc("row_misses")
             self.stats.inc("activations")
             self.stats.inc("row_accesses")
-            pre_start = max(now, bank.busy_until_ps, bank.act_ps + t.t_ras_ps)
-            act_start = pre_start + (t.t_rp_ps if bank.open_row is not None else 0)
+            act_start = t.activate_start_ps(now, bank.busy_until_ps,
+                                            bank.act_ps,
+                                            bank.open_row is not None)
             bank.open_row = req.row
             bank.act_ps = act_start
-            req.data_ready_ps = act_start + t.t_rcd_ps + t.t_cas_ps
+            req.data_ready_ps = act_start + t.t_rcd_cas_ps
             if obs is not None:
                 obs.on_bank_assign(bank_id, bank, req, window_idx,
                                    prev_open, prev_act, now)
+            self._admit_to_window(window)
 
     def _grant_bus(self) -> Optional[int]:
         """Start the best transfer if the bus is free; returns the transfer
@@ -185,6 +246,8 @@ class MemoryController:
         if self.bus_free_ps > now:
             return self.bus_free_ps
         t = self.timing
+        window = self._window
+        hits = window[0] if window is not None else None
         best_req: Optional[DramRequest] = None
         best_key = None
         best_bound = False
@@ -193,7 +256,10 @@ class MemoryController:
                 req, bound = bank.pending, True
                 ready = req.data_ready_ps
             else:
-                hit, _, _ = self._bank_candidates(bank_id, bank.open_row)
+                if hits is not None:
+                    hit = hits[bank_id]
+                else:  # standalone call outside an epoch kick
+                    hit, _, _ = self._bank_candidates(bank_id, bank.open_row)
                 if hit is None:
                     continue
                 req, bound = hit, False
@@ -201,7 +267,7 @@ class MemoryController:
                 # data is ready tCAS after the request could first be
                 # issued (arrival, or the row becoming open), NOT tCAS
                 # after the previous transfer drains
-                ready = max(req.arrival_ps, bank.act_ps + t.t_rcd_ps) + t.t_cas_ps
+                ready = t.hit_ready_ps(req.arrival_ps, bank.act_ps)
             key = (max(now, ready), req.seq)
             if best_req is None or key < best_key:
                 best_req, best_key, best_bound = req, key, bound
@@ -240,17 +306,26 @@ class MemoryController:
     def _request_kick(self, at_ps: int) -> None:
         if at_ps not in self._scheduled_kicks:
             self._scheduled_kicks.add(at_ps)
-            self.engine.schedule_at(at_ps, self._kick_event, at_ps)
+            self.engine.schedule_at(at_ps, self._epoch_kick, at_ps)
 
-    def _kick_event(self, at_ps: int) -> None:
+    def _epoch_kick(self, at_ps: int) -> None:
+        # named so the host profiler (which keys event classes by callback
+        # __qualname__) attributes batched-epoch scheduling work to
+        # ``MemoryController._epoch_kick`` — see docs/backends.md
         self._scheduled_kicks.discard(at_ps)
         self._kick()
 
     def _kick(self) -> None:
-        """Scheduling point: assign banks, try to grant the bus, and arrange
-        the next scheduling point."""
+        """Epoch scheduling point: one batched window scan feeds both the
+        bank-assignment and bus-grant decisions, then arrange the next
+        scheduling point.  All decisions inside the epoch happen at one
+        timestamp (requests arriving later always land at or after the
+        completion event that re-kicks), so the scan stays valid for the
+        whole pass as long as removals admit the shifted window tail."""
+        self._window = self._scan_window()
         self._assign_banks()
         end = self._grant_bus()
+        self._window = None
         if end is None:
             # bus idle and nothing pending: next kick happens on arrival
             return

@@ -24,6 +24,28 @@ class DramTiming:
         self.t_rp_ps = cfg.t_rp * self.channel_period_ps
         self.t_rcd_ps = cfg.t_rcd * self.channel_period_ps
         self.t_ras_ps = cfg.t_ras * self.channel_period_ps
+        self.t_rcd_cas_ps = self.t_rcd_ps + self.t_cas_ps
+
+    def hit_ready_ps(self, arrival_ps: int, act_ps: int) -> int:
+        """CAS-complete time of a row hit: tCAS after the request could
+        first be issued (its arrival, or the row finishing activation)."""
+        issue = act_ps + self.t_rcd_ps
+        if arrival_ps > issue:
+            issue = arrival_ps
+        return issue + self.t_cas_ps
+
+    def activate_start_ps(self, now: int, busy_until_ps: int, act_ps: int,
+                          row_open: bool) -> int:
+        """Earliest activate start on a bank: after ``now``, the bank
+        freeing, and tRAS since the previous activate — plus a precharge
+        when a row is open."""
+        start = now
+        if busy_until_ps > start:
+            start = busy_until_ps
+        ras = act_ps + self.t_ras_ps
+        if ras > start:
+            start = ras
+        return start + self.t_rp_ps if row_open else start
 
     def transfer_ps(self, n_bytes: int) -> int:
         """Data-bus occupancy of an ``n_bytes`` burst."""

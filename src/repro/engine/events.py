@@ -217,6 +217,28 @@ class Engine:
         """The :meth:`run` loop over the calendar queue (same contract)."""
         delivered = 0
         queue = self._queue
+        if until is None and max_events is None:
+            # unbounded drain (the main `engine.run()` loop): pop directly.
+            # The general path below peeks before every pop to check the
+            # `until`/`max_events` bounds, and each of peek/pop walks the
+            # calendar's day scan — with no bounds to check, popping
+            # directly halves that work on the hottest engine path.
+            while True:
+                ev = queue.pop_min()
+                if ev is None:
+                    return delivered
+                self._live -= 1
+                self.now = ev.time
+                obs = self.observer
+                if obs is None:
+                    ev.fn(*ev.args)
+                else:
+                    obs.on_deliver(ev)
+                    ev.fn(*ev.args)
+                    hook = getattr(obs, "on_return", None)
+                    if hook is not None:
+                        hook(ev)
+                delivered += 1
         while True:
             ev = queue.peek_min()
             if ev is None:

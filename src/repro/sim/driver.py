@@ -73,13 +73,15 @@ TRAVERSAL: dict[str, str] = {
 }
 
 #: key -> (processor class, config transform, needs record barriers,
-#: supports the vector trace-replay backend).  SIMT models (gpgpu/vws)
-#: run their own warp loops, so the ``vector`` backend falls back to the
-#: reference interpreter for them (still on the calendar-queue scheduler).
+#: supports the vector trace-replay backend).  Every architecture is
+#: vectorizable: the MIMD cores replay per-thread traces
+#: (:class:`repro.core.replay.ReplayMixin`), and the SIMT SMs replay
+#: per-warp traces from the PDOM divergence engine
+#: (:class:`repro.core.replay.SimtReplay`).
 ARCHITECTURES: dict[str, tuple[type, Callable[[SystemConfig], SystemConfig], bool, bool]] = {
-    "gpgpu": (GpgpuSM, lambda c: c, False, False),
-    "vws": (VwsSM, lambda c: c, False, False),
-    "vws-row": (VwsRowSM, lambda c: _millipede_cfg(c, flow_control=True), False, False),
+    "gpgpu": (GpgpuSM, lambda c: c, False, True),
+    "vws": (VwsSM, lambda c: c, False, True),
+    "vws-row": (VwsRowSM, lambda c: _millipede_cfg(c, flow_control=True), False, True),
     "ssmc": (SsmcProcessor, lambda c: c, False, True),
     "millipede": (
         MillipedeProcessor,

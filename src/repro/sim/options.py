@@ -19,11 +19,14 @@ Backends
 ``vector``       NumPy batch interpreter: each processor's threads are
                  functionally executed as vectorized column ops over
                  basic blocks (:mod:`repro.isa.vector`), then the event
-                 engine replays the recorded instruction traces with the
+                 engine replays the recorded traces with the
                  calendar-queue scheduler.  Bit-identical statistics,
-                 metrics and reduced results; SIMT architectures
-                 (``gpgpu``/``vws``/``vws-row``) fall back to the
-                 reference interpreter (still on the calendar queue).
+                 metrics and reduced results.  Covers every registered
+                 architecture: MIMD cores replay per-thread traces, and
+                 the SIMT SMs (``gpgpu``/``vws``/``vws-row``) replay
+                 per-warp traces from the lockstep PDOM divergence
+                 engine.  Pass ``backend="reference"`` explicitly to opt
+                 any run back onto the per-instruction interpreter.
 ===============  ========================================================
 
 All backends are proven byte-identical by ``tests/test_backends.py``; see

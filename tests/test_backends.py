@@ -272,15 +272,39 @@ class TestBackendEquivalence:
     def test_vector_bit_identical(self, arch, wl):
         """All 8 workloads x every registry arch: vector == reference.
 
-        SIMT arches (gpgpu/vws/vws-row) are flagged non-vectorizable and
-        fall back to the reference interpreter on the calendar scheduler;
-        the identity guarantee still holds for them.
+        This includes the SIMT arches (gpgpu/vws/vws-row), which run the
+        lockstep PDOM divergence engine and per-warp trace replay — there
+        is no fallback path (test_simt_arches_actually_vectorized pins
+        that).
         """
         ref = run(RunSpec(arch, wl, n_records=N_RECORDS))
         vec = run(RunSpec(arch, wl, n_records=N_RECORDS,
                           options=ExecOptions(backend="vector")))
         assert fingerprint(ref) == fingerprint(vec)
         assert ref.validated and vec.validated
+
+    @pytest.mark.parametrize("arch", ["gpgpu", "vws", "vws-row"])
+    def test_simt_arches_actually_vectorized(self, arch):
+        """The SIMT arches must run the per-warp trace replay, not quietly
+        fall back to the reference interpreter (the pre-PDOM behaviour):
+        under backend="vector" the SM carries a SimtReplay, and under the
+        explicit backend="reference" escape hatch it does not."""
+        procs = {}
+
+        def grab(proc, engine, sanitizer):
+            procs[proc.__class__.__name__] = proc
+
+        vec = run(RunSpec(arch, "count", n_records=N_RECORDS,
+                          options=ExecOptions(backend="vector")), probe=grab)
+        (proc,) = procs.values()
+        assert proc._replay is not None, (
+            f"{arch} fell back to the reference interpreter under "
+            "backend='vector'")
+        procs.clear()
+        ref = run(RunSpec(arch, "count", n_records=N_RECORDS), probe=grab)
+        (proc,) = procs.values()
+        assert proc._replay is None
+        assert fingerprint(ref) == fingerprint(vec)
 
     @pytest.mark.parametrize("wl", ["count", "kmeans", "variance"])
     @pytest.mark.parametrize("arch", ["millipede", "ssmc"])
@@ -292,17 +316,21 @@ class TestBackendEquivalence:
         assert fingerprint(ref) == fingerprint(cal)
 
     @pytest.mark.parametrize("arch", ["millipede", "millipede-bar",
-                                      "millipede-rm", "ssmc", "multicore"])
+                                      "millipede-rm", "ssmc", "multicore",
+                                      "gpgpu", "vws", "vws-row"])
     def test_sanitized_vector_bit_identical(self, arch):
         """The sanitizer's invariant checks hold under trace replay, and
-        sanitized runs stay identical across backends."""
+        sanitized runs stay identical across backends.  For the SIMT
+        arches this exercises the observed replay path: the _SimtChecker
+        watches live warp reconvergence stacks, so the replay must evolve
+        them issue-by-issue exactly as the reference did."""
         opts = ExecOptions(sanitize=True)
         ref = run(RunSpec(arch, "kmeans", n_records=N_RECORDS, options=opts))
         vec = run(RunSpec(arch, "kmeans", n_records=N_RECORDS,
                           options=opts.replace(backend="vector")))
         assert fingerprint(ref) == fingerprint(vec)
 
-    @pytest.mark.parametrize("arch", ["millipede", "ssmc"])
+    @pytest.mark.parametrize("arch", ["millipede", "ssmc", "gpgpu"])
     def test_traced_vector_bit_identical(self, arch):
         """The timeline tracer samples mid-run state (instruction counts,
         queue depths); replay must reproduce every sample, not just the

@@ -60,12 +60,12 @@ def _gated_pairs():
             pairs.append((f"interp:{arch}:best", base_section["best_speedup"],
                           section["best_speedup"]))
 
-    for section in ("batch", "store"):
+    for section in ("batch", "store", "steal"):
         rec = RECORDED["campaign"].get(section)
         base = BASELINES["campaign"].get(section, {})
         if not rec:
             continue
-        for metric in ("speedup", "warm_speedup"):
+        for metric in ("speedup", "warm_speedup", "steal_speedup"):
             if metric in rec and metric in base:
                 pairs.append((f"campaign:{section}:{metric}",
                               base[metric], rec[metric]))

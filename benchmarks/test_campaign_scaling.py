@@ -115,3 +115,103 @@ def test_store_cold_vs_warm(benchmark, fast_records, serial_batch, tmp_path):
         "warm_hits": warm.hits,
         "warm_misses": warm.misses,
     }, file="campaign")
+
+
+def _two_shard_campaign(specs, root, steal, slow_sleep_s):
+    """Run the sweep as two concurrent shard threads against one store,
+    shard 1 a straggler (sleeps after every spec it *simulates* - a slow
+    machine, not slow bookkeeping).  Returns (wall_s, reports)."""
+    import threading
+
+    reports = [None, None]
+
+    def shard_body(i):
+        def drag(event):
+            if not event.cached:
+                time.sleep(slow_sleep_s)
+
+        reports[i - 1] = run_campaign(
+            specs, FingerprintStore(root), shard=(i, 2), name="straggler",
+            steal=steal, lease_s=60.0,
+            progress=drag if i == 1 else None)
+
+    threads = [threading.Thread(target=shard_body, args=(i,)) for i in (1, 2)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, reports
+
+
+def test_steal_straggler(benchmark, fast_records, serial_batch, tmp_path):
+    """Work-stealing vs. the static split under a straggler shard: the
+    idle shard must steal the slow shard's pending work, so campaign
+    wall-clock tracks max(shard) instead of the straggler's full slice -
+    with byte-identical merged results."""
+    specs, serial, _ = serial_batch
+    slow_sleep_s = 1.0
+
+    nosteal_s, nosteal = run_once(
+        benchmark, _two_shard_campaign, specs, tmp_path / "static",
+        False, slow_sleep_s)
+    assert sum(r.misses for r in nosteal) == len(specs)
+
+    steal_s, reports = _two_shard_campaign(
+        specs, tmp_path / "steal", True, slow_sleep_s)
+    assert sum(r.misses for r in reports) == len(specs)
+    stolen = sum(r.stolen for r in reports)
+    assert stolen >= 1  # the fast shard raided the straggler's slice
+    assert not reports[-1].missing(specs)
+    assert steal_s < nosteal_s  # stealing must beat the static split
+    for a, b in zip(serial, reports[-1].gather(specs)):
+        assert canonical_result_blob(a) == canonical_result_blob(b)
+
+    record_bench("steal", {
+        "arches": ARCHES,
+        "benches": BENCHES,
+        "n_records": fast_records,
+        "specs": len(specs),
+        "shards": 2,
+        "straggler_sleep_s": slow_sleep_s,
+        "nosteal_s": round(nosteal_s, 4),
+        "steal_s": round(steal_s, 4),
+        "steal_speedup": round(nosteal_s / steal_s, 3),
+        "stolen": stolen,
+    }, file="campaign")
+
+
+def test_store_compact_bench(benchmark, fast_records, serial_batch, tmp_path):
+    """Segment compaction on a multi-writer store: collapse to one
+    segment with identical contents, and record the cost."""
+    specs, serial, _ = serial_batch
+    root = tmp_path / "store"
+    for i in range(0, len(specs), 3):  # 3 writer instances -> 3 segments
+        with FingerprintStore(root) as writer:
+            for spec, result in zip(specs[i:i + 3], serial[i:i + 3]):
+                writer.put_spec(spec, result)
+
+    store = FingerprintStore(root)
+    before = store.fingerprints()
+    segments_before = len(store.segments())
+    assert segments_before == 3
+
+    t0 = time.perf_counter()
+    summary = run_once(benchmark, store.compact)
+    t_compact = time.perf_counter() - t0
+
+    assert summary["compacted"] is True
+    assert summary["segments_after"] == 1
+    assert store.fingerprints() == before
+    for spec, result in zip(specs, serial):
+        assert canonical_result_blob(store.get_spec(spec)) == \
+            canonical_result_blob(result)
+
+    record_bench("compact", {
+        "records": summary["records"],
+        "segments_before": segments_before,
+        "segments_after": summary["segments_after"],
+        "bytes_before": summary["bytes_before"],
+        "bytes_after": summary["bytes_after"],
+        "compact_s": round(t_compact, 4),
+    }, file="campaign")

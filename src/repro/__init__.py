@@ -61,7 +61,7 @@ from repro.sim.store import FingerprintStore
 from repro.trace import SimTracer, TraceResult
 from repro.workloads.registry import get_workload, workload_names
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "DEFAULT_CONFIG",

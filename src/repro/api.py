@@ -39,7 +39,7 @@ from repro.sim.campaign import (
 from repro.sim.driver import RunResult, run as _driver_run
 from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
-from repro.sim.store import FingerprintStore
+from repro.sim.store import DEFAULT_LEASE_S, FingerprintStore
 from repro.workloads.base import Workload
 from repro.workloads.registry import workload_names
 
@@ -102,19 +102,30 @@ def run_batch(
     :func:`repro.sim.campaign.run_batch` re-exported under the facade;
     see that module for the dedup/cache/progress contract.
     """
+    owned_store = None
     if store is not None:
         if cache is not None:
             raise TypeError("pass either cache= (session tier) or "
                             "store= (durable tier), not both")
-        cache = coerce_store(store)
+        if not isinstance(store, FingerprintStore):
+            # created for this call: close its segment fd before returning
+            owned_store = coerce_store(store)
+            cache = owned_store
+        else:
+            cache = store
     elif cache is not None and not isinstance(cache, ResultCache):
         raise TypeError(
             f"cache must be a ResultCache or None, got {type(cache).__name__}"
             " (caching is off by default; pass a ResultCache to enable it,"
             " or a FingerprintStore via store= for the durable tier)"
         )
-    return _campaign_run_batch(specs, workers=workers, cache=cache,
-                               progress=progress)
+    try:
+        return _campaign_run_batch(specs, workers=workers, cache=cache,
+                                   progress=progress)
+    finally:
+        if owned_store is not None:
+            owned_store.write_index()
+            owned_store.close()
 
 
 def run_campaign(
@@ -126,17 +137,25 @@ def run_campaign(
     resume: bool = True,
     name: Optional[str] = None,
     progress=None,
+    steal: Optional[bool] = None,
+    lease_s: float = DEFAULT_LEASE_S,
 ) -> CampaignReport:
     """Run a persistent, resumable, shard-able campaign (docs/campaigns.md).
 
     :func:`repro.sim.campaign.run_campaign` re-exported under the facade:
     results land in the durable :class:`FingerprintStore`, a manifest
     checkpoints the plan, already-recorded fingerprints are not
-    re-simulated (``resume``), and ``shard=(i, n)`` runs one round-robin
-    slice so independent processes merge through the shared store.
+    re-simulated (``resume``), and ``shard=(i, n)`` splits the campaign
+    across independent processes that merge through the shared store.
+    Sharded campaigns **work-steal** by default (``steal=None`` means
+    "steal iff sharded"): the slice is an initial-order hint, pending
+    fingerprints are claimed through atomic lease files (``lease_s``),
+    and an idle shard picks up a straggler's or a dead shard's work.
+    ``steal=False`` restores the static hard-assignment split.
     """
     return _campaign_run_campaign(specs, store, workers=workers, shard=shard,
-                                  resume=resume, name=name, progress=progress)
+                                  resume=resume, name=name, progress=progress,
+                                  steal=steal, lease_s=lease_s)
 
 
 def sweep(

@@ -64,10 +64,12 @@ def _run_specs(
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
     campaign: Optional[str] = None,
+    steal: Optional[bool] = None,
 ) -> list[RunResult]:
     """One dispatch point for every experiment: the plain cached batch, or
-    (with ``store``) a durable resume/shard-able campaign.  Raises
-    :class:`ShardIncomplete` when other shards still owe results."""
+    (with ``store``) a durable resume/shard-able campaign (work-stealing
+    by default when sharded; ``steal=False`` for the static split).
+    Raises :class:`ShardIncomplete` when other shards still owe results."""
     if store is None:
         if shard is not None:
             raise ValueError("sharding requires a persistent store "
@@ -75,7 +77,8 @@ def _run_specs(
         return run_batch(specs, workers=workers, cache=cache,
                          progress=progress)
     report = run_campaign(specs, store, workers=workers, shard=shard,
-                          resume=resume, name=campaign, progress=progress)
+                          resume=resume, name=campaign, progress=progress,
+                          steal=steal)
     gathered = report.gather(specs)
     if any(r is None for r in gathered):
         have = report.plan.campaign_total - len(report.missing(specs))
@@ -125,16 +128,18 @@ def batch_run(
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
     campaign: Optional[str] = None,
+    steal: Optional[bool] = None,
 ) -> dict[RunSpec, RunResult]:
     """`run_batch` returning a spec -> result mapping (experiment modules
     index results by (arch, workload) via their spec objects).  With
     ``trace_dir`` set, every traced result's artifacts plus a campaign
     ``index.json`` are written there as results land.  With ``store``
     set, results persist in the fingerprint store and ``shard``/``resume``
-    gain their campaign semantics (docs/campaigns.md)."""
+    /``steal`` gain their campaign semantics (docs/campaigns.md)."""
     writer = _trace_progress(trace_dir)
     results = _run_specs(specs, cache, workers, writer, store=store,
-                         shard=shard, resume=resume, campaign=campaign)
+                         shard=shard, resume=resume, campaign=campaign,
+                         steal=steal)
     if writer is not None:
         writer.finish()
     return dict(zip(specs, results))
@@ -157,12 +162,13 @@ def sweep(
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
     campaign: Optional[str] = None,
+    steal: Optional[bool] = None,
 ) -> dict[str, dict[str, RunResult]]:
     """results[workload][arch] for the full cross product.
 
     ``options`` supersedes the flat ``sanitize``/``trace``/``backend``
     shims (mixing the two is an error).  ``store``/``shard``/``resume``
-    run the sweep as a persistent campaign (docs/campaigns.md)."""
+    /``steal`` run the sweep as a persistent campaign (docs/campaigns.md)."""
     if options is None:
         options = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     elif (sanitize, trace, backend) != (False, False, "reference"):
@@ -171,7 +177,8 @@ def sweep(
                   options=options)
     writer = _trace_progress(trace_dir if options.trace else None)
     results = _run_specs(specs, cache, workers, writer, store=store,
-                         shard=shard, resume=resume, campaign=campaign)
+                         shard=shard, resume=resume, campaign=campaign,
+                         steal=steal)
     if writer is not None:
         writer.finish()
     out: dict[str, dict[str, RunResult]] = {wl: {} for wl in benches}

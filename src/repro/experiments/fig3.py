@@ -40,11 +40,13 @@ def run_experiment(
     store=None,
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
+    steal: Optional[bool] = None,
 ) -> ExperimentResult:
     results = sweep(FIG3_ARCHES, BENCHES, config, n_records, cache,
                     workers=workers, sanitize=sanitize, trace=trace,
                     trace_dir=trace_dir, backend=backend, store=store,
-                    shard=shard, resume=resume, campaign="fig3")
+                    shard=shard, resume=resume, campaign="fig3",
+                    steal=steal)
 
     rows = []
     for wl in BENCHES:

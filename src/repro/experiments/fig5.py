@@ -40,6 +40,7 @@ def run_experiment(
     store=None,
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
+    steal: Optional[bool] = None,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {
@@ -50,7 +51,8 @@ def run_experiment(
     }
     results = batch_run(list(specs.values()), cache=cache, workers=workers,
                         trace_dir=trace_dir if trace else None, store=store,
-                        shard=shard, resume=resume, campaign="fig5")
+                        shard=shard, resume=resume, campaign="fig5",
+                        steal=steal)
     rows = []
     speedups, energy_gains, ed_gains = [], [], []
     n_proc = config.n_processors

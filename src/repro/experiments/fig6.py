@@ -32,6 +32,7 @@ def run_experiment(
     store=None,
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
+    steal: Optional[bool] = None,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     # one batch across both system sizes (specs carry their own config)
@@ -44,7 +45,8 @@ def run_experiment(
     }
     batch = batch_run(list(specs.values()), cache=cache, workers=workers,
                       trace_dir=trace_dir if trace else None, store=store,
-                      shard=shard, resume=resume, campaign="fig6")
+                      shard=shard, resume=resume, campaign="fig6",
+                      steal=steal)
     # results[size][arch][wl]
     res: dict[int, dict[str, dict[str, float]]] = {
         size: {a: {} for a in ARCHES} for size in SIZES

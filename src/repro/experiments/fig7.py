@@ -38,6 +38,7 @@ def run_experiment(
     store=None,
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
+    steal: Optional[bool] = None,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {}
@@ -51,7 +52,8 @@ def run_experiment(
                                          n_records=n_records, options=opts)
     batch = batch_run(list(specs.values()), cache=cache, workers=workers,
                       trace_dir=trace_dir if trace else None, store=store,
-                      shard=shard, resume=resume, campaign="fig7")
+                      shard=shard, resume=resume, campaign="fig7",
+                      steal=steal)
     tput: dict[str, dict[int, float]] = {wl: {} for wl in FIG7_BENCHES}
     for (entries, wl), spec in specs.items():
         tput[wl][entries] = batch[spec].throughput_words_per_s

@@ -98,10 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard",
         metavar="I/N",
         default=None,
-        help="with --store: run only the I-th of N round-robin slices of "
-        "the campaign's deduplicated spec list (1-based, e.g. 2/3); "
-        "shards merge through the shared store, and the table prints "
-        "once every shard has run",
+        help="with --store: run the I-th of N round-robin slices of the "
+        "campaign's deduplicated spec list (1-based, e.g. 2/3); shards "
+        "merge through the shared store, and the table prints once "
+        "every shard's work is recorded; by default the slice is a "
+        "work-stealing hint (see --steal)",
+    )
+    p.add_argument(
+        "--steal",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="with --store: claim pending specs through atomic lease "
+        "files so an idle shard steals a straggler's (or a killed "
+        "shard's) unclaimed work (default: on whenever --shard is "
+        "given); --no-steal restores the static hard-assignment split",
     )
     p.add_argument(
         "--no-cache",
@@ -138,6 +148,11 @@ def main(argv: list[str] | None = None) -> int:
             shard = parse_shard(args.shard)
         except ValueError as exc:
             parser.error(str(exc))
+    if args.steal is not None and args.store is None:
+        parser.error("--steal/--no-steal requires --store (leases live in "
+                     "the shared fingerprint store)")
+    # one store instance for the whole invocation (experiments share its
+    # segment), closed before exiting - no leaked descriptors
     store = FingerprintStore(args.store) if args.store is not None else None
     # the durable store supersedes the session cache: one result tier
     cache = None if (args.no_cache or store is not None) else default_cache()
@@ -150,26 +165,32 @@ def main(argv: list[str] | None = None) -> int:
     trace_dir = Path(args.trace) if args.trace is not None else None
     results = []
     incomplete = []
-    for name in names:
-        t0 = time.perf_counter()
-        try:
-            res = EXPERIMENTS[name].run_experiment(
-                DEFAULT_CONFIG, n_records=args.records, cache=cache, workers=jobs,
-                sanitize=args.sanitize,
-                trace=trace_dir is not None,
-                trace_dir=trace_dir / name if trace_dir is not None else None,
-                backend=args.backend,
-                store=store,
-                shard=shard,
-                resume=args.resume,
-            )
-        except ShardIncomplete as exc:
-            incomplete.append(name)
-            print(f"== {name}: {exc}\n")
-            continue
-        results.append(res)
-        print(res.text())
-        print(f"[{name} took {time.perf_counter() - t0:.1f}s]\n")
+    try:
+        for name in names:
+            t0 = time.perf_counter()
+            try:
+                res = EXPERIMENTS[name].run_experiment(
+                    DEFAULT_CONFIG, n_records=args.records, cache=cache,
+                    workers=jobs,
+                    sanitize=args.sanitize,
+                    trace=trace_dir is not None,
+                    trace_dir=trace_dir / name if trace_dir is not None else None,
+                    backend=args.backend,
+                    store=store,
+                    shard=shard,
+                    resume=args.resume,
+                    steal=args.steal,
+                )
+            except ShardIncomplete as exc:
+                incomplete.append(name)
+                print(f"== {name}: {exc}\n")
+                continue
+            results.append(res)
+            print(res.text())
+            print(f"[{name} took {time.perf_counter() - t0:.1f}s]\n")
+    finally:
+        if store is not None:
+            store.close()
     if trace_dir is not None:
         print(f"trace artifacts under {trace_dir}/ (load the *.trace.json "
               "files in chrome://tracing or https://ui.perfetto.dev)")

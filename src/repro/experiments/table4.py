@@ -44,6 +44,7 @@ def run_experiment(
     store=None,
     shard: Optional[tuple[int, int]] = None,
     resume: bool = True,
+    steal: Optional[bool] = None,
 ) -> ExperimentResult:
     opts = ExecOptions(sanitize=sanitize, trace=trace, backend=backend)
     specs = {
@@ -54,7 +55,8 @@ def run_experiment(
     }
     results = batch_run(list(specs.values()), cache=cache, workers=workers,
                         trace_dir=trace_dir if trace else None, store=store,
-                        shard=shard, resume=resume, campaign="table4")
+                        shard=shard, resume=resume, campaign="table4",
+                        steal=steal)
     rows = []
     for wl in BENCHES:
         ssmc = results[specs["ssmc", wl]]

@@ -31,6 +31,14 @@ store, and a config change turns into a **delta campaign** - only specs
 whose fingerprints changed are simulated (:func:`plan_campaign` previews
 exactly which).
 
+Sharded campaigns **work-steal** by default: ``shard=(i, n)`` is a hint
+for initial partition order, not a hard assignment.  Each shard claims
+pending fingerprints through small atomic lease files in the shared
+store (``claims/``), works its own round-robin slice first, then steals
+whatever is still unclaimed - so a straggler shard no longer idles the
+others, and a SIGKILL'd shard's leases expire and its work is picked up.
+``steal=False`` restores the static :func:`shard_specs` split.
+
 >>> from repro.sim.campaign import cross, run_batch, run_campaign
 >>> specs = cross(["ssmc", "millipede"], ["count", "kmeans"], n_records=2048)
 >>> results = run_batch(specs, workers=4)          # doctest: +SKIP
@@ -41,6 +49,7 @@ exactly which).
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 from dataclasses import dataclass, field as dc_field
 from pathlib import Path
@@ -51,7 +60,7 @@ from repro.sim.cache import ResultCache
 from repro.sim.driver import RunResult, _execute
 from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
-from repro.sim.store import FingerprintStore, plan_fingerprint
+from repro.sim.store import DEFAULT_LEASE_S, FingerprintStore, plan_fingerprint
 from repro.workloads.base import BuiltWorkload
 from repro.workloads.registry import get_workload
 
@@ -144,7 +153,10 @@ def _run_with_memo(spec: RunSpec, memo: dict[tuple, BuiltWorkload]) -> RunResult
             traversal=spec.traversal,
         )
         if len(memo) >= _MEMO_LIMIT:
-            memo.clear()
+            # evict only the oldest build (dict insertion order -
+            # deterministic); clearing the whole memo would throw away
+            # the hot build mid-group
+            memo.pop(next(iter(memo)))
         memo[key] = built
     return _execute(spec, wl, built)
 
@@ -333,6 +345,39 @@ class _WriteOnlyTier:
         return self._store.put_spec(spec, result)
 
 
+class _CampaignTally:
+    """Campaign counters derived from the :class:`BatchProgress` stream.
+
+    The report's ``resumed``/``hits``/``misses`` must reflect what the
+    batch *actually did* - a racing shard landing records mid-campaign,
+    traced specs, or stolen work all diverge from the plan-time view - so
+    every completion funnels through here, and the user's ``progress``
+    callback sees campaign-cumulative counters."""
+
+    def __init__(self, progress: Optional[Callable[[BatchProgress], None]],
+                 total: int):
+        self.progress = progress
+        self.total = total
+        self.done = 0
+        self.hits = 0
+        self.misses = 0
+
+    def emit(self, spec: RunSpec, result: RunResult, cached: bool) -> None:
+        self.done += 1
+        if cached:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self.progress is not None:
+            self.progress(BatchProgress(spec, result, cached, self.done,
+                                        self.total, self.hits))
+
+    def __call__(self, event: BatchProgress) -> None:
+        """run_batch progress hook: re-emit with campaign-cumulative
+        counters (the batch's own done/total are wave-local)."""
+        self.emit(event.spec, event.result, event.cached)
+
+
 @dataclass
 class CampaignReport:
     """What one :func:`run_campaign` call did, plus store-backed access
@@ -344,6 +389,7 @@ class CampaignReport:
     resumed: int  #: planned specs served from pre-existing records
     hits: int  #: specs served without simulating (== ``resumed`` here)
     misses: int  #: specs simulated by this call
+    stolen: int = 0  #: simulated specs outside this call's shard hint
     results: dict[str, RunResult] = dc_field(default_factory=dict)
 
     @property
@@ -372,9 +418,95 @@ class CampaignReport:
     def summary(self) -> str:
         tag = (f" shard {self.shard[0]}/{self.shard[1]}"
                if self.shard is not None else "")
+        stolen = f" ({self.stolen} stolen)" if self.stolen else ""
         return (f"campaign {self.name!r}{tag}: {len(self.plan.specs)} specs, "
-                f"{self.hits} resumed from store, {self.misses} simulated "
-                f"({len(self.store)} records in store)")
+                f"{self.hits} resumed from store, {self.misses} simulated"
+                f"{stolen} ({len(self.store)} records in store)")
+
+
+def _steal_order(unique: dict[str, RunSpec],
+                 shard: Optional[tuple[int, int]]) -> \
+        tuple[list[tuple[str, RunSpec]], frozenset[str]]:
+    """Claim order for a stealing shard: its own round-robin slice first
+    (the ``shard`` hint), the rest of the campaign after.  Returns the
+    ordered (fingerprint, spec) list and the hinted slice's fingerprints."""
+    items = list(unique.items())
+    if shard is None:
+        return items, frozenset(unique)
+    index, count = shard
+    mine = [(fp, spec) for pos, (fp, spec) in enumerate(items)
+            if pos % count == index - 1]
+    rest = [(fp, spec) for pos, (fp, spec) in enumerate(items)
+            if pos % count != index - 1]
+    return mine + rest, frozenset(fp for fp, _ in mine)
+
+
+def _run_stealing(
+    store: FingerprintStore,
+    unique: dict[str, RunSpec],
+    shard: Optional[tuple[int, int]],
+    workers: int,
+    resume: bool,
+    lease_s: float,
+    tally: _CampaignTally,
+) -> tuple[dict[str, RunResult], int]:
+    """Work-stealing campaign body: serve store hits, then repeatedly
+    claim-and-simulate waves of pending fingerprints until everything is
+    recorded or the remainder is leased to other live shards.
+
+    Claims are taken one wave at a time (wave = the worker count), so a
+    shard only holds leases on work it is actively simulating - that is
+    what lets an idle shard steal a straggler's untouched slice."""
+    order, mine = _steal_order(unique, shard)
+    results: dict[str, RunResult] = {}
+    stolen = 0
+    tier = store if resume else _WriteOnlyTier(store)
+
+    def serve_hit(fp: str, spec: RunSpec) -> bool:
+        if not resume or spec.trace:
+            return False
+        result = store.get(fp)
+        if result is None:
+            return False
+        results[fp] = result
+        tally.emit(spec, result, cached=True)
+        return True
+
+    pending = [(fp, spec) for fp, spec in order if not serve_hit(fp, spec)]
+    wave_cap = max(workers, 1)
+    while pending:
+        store.refresh()
+        wave: list[tuple[str, RunSpec]] = []
+        rest: list[tuple[str, RunSpec]] = []
+        for fp, spec in pending:
+            if len(wave) >= wave_cap:
+                rest.append((fp, spec))
+            elif serve_hit(fp, spec):  # another shard finished it
+                continue
+            elif store.try_claim(fp, lease_s=lease_s, resimulate=not resume):
+                wave.append((fp, spec))
+            else:
+                rest.append((fp, spec))  # live foreign lease; retry later
+        if not wave:
+            # everything left is leased to live shards - their leases
+            # would expire eventually, but they are working, not dead
+            break
+        wave_cached: set[str] = set()
+
+        def forward(event: BatchProgress) -> None:
+            tally.emit(event.spec, event.result, event.cached)
+            if event.cached:
+                wave_cached.add(event.spec.content_hash())
+
+        batch = run_batch([spec for _, spec in wave], workers=workers,
+                          cache=tier, progress=forward)
+        for (fp, spec), result in zip(wave, batch):
+            results[fp] = result
+            store.release_claim(fp)
+            if fp not in mine and fp not in wave_cached:
+                stolen += 1
+        pending = rest
+    return results, stolen
 
 
 def run_campaign(
@@ -385,40 +517,79 @@ def run_campaign(
     resume: bool = True,
     name: Optional[str] = None,
     progress: Optional[Callable[[BatchProgress], None]] = None,
+    steal: Optional[bool] = None,
+    lease_s: float = DEFAULT_LEASE_S,
 ) -> CampaignReport:
     """Run a campaign against a persistent :class:`FingerprintStore`.
 
     The durable counterpart of :func:`run_batch`: the deduped spec list is
     checkpointed as a manifest, fingerprints already recorded in the store
     are **not** re-simulated (``resume=True``; a killed campaign picks up
-    where its store left off), ``shard=(i, n)`` runs only the i-th
-    round-robin slice (independent processes/hosts merge through the
-    shared store directory), and ``resume=False`` forces re-simulation of
-    every planned spec while still appending the fresh records.
+    where its store left off), and ``resume=False`` forces re-simulation
+    of every planned spec while still appending the fresh records.
+
+    ``shard=(i, n)`` splits the campaign across independent
+    processes/hosts that merge through the shared store directory.  With
+    ``steal`` (the default whenever ``shard`` is given) the split is a
+    *hint*: this shard claims its own round-robin slice first through
+    atomic lease files, then steals whatever other shards have not
+    claimed, so a straggler never idles the rest, and a killed shard's
+    leases expire (``lease_s``) and its work is re-claimed.  With
+    ``steal=False`` the slice is a hard assignment (the static
+    :func:`shard_specs` split).  A stealing report covers the *whole*
+    campaign (its plan is unsharded); ``report.stolen`` counts the
+    simulated specs that were outside this shard's hinted slice.
+
+    The report's ``resumed``/``hits``/``misses`` counters are derived
+    from the :class:`BatchProgress` stream - what actually happened, not
+    the plan-time view.
+
+    If ``store`` is a path, the store instance is created for this call
+    and closed before returning (reads, e.g. ``report.gather``, still
+    work); pass a :class:`FingerprintStore` to manage its lifetime
+    yourself.
 
     Returns a :class:`CampaignReport`; use :meth:`CampaignReport.gather`
     to assemble the merged result list once every shard has run.
     """
+    owned = not isinstance(store, FingerprintStore)
     store = coerce_store(store)
-    specs = list(specs)
-    plan = plan_campaign(specs, store, shard=shard)
-    if name is None:
-        name = "c-" + plan_fingerprint(list(dedup_specs(specs)))
-    store.write_manifest(name, specs, shard=shard)
+    try:
+        specs = list(specs)
+        if steal is None:
+            steal = shard is not None
+        # a stealing shard may end up running any spec in the campaign,
+        # so its plan (and report) covers the full deduped list
+        plan = plan_campaign(specs, store, shard=None if steal else shard)
+        if steal and shard is not None:
+            plan = dataclasses.replace(plan, shard=shard)
+        if name is None:
+            name = "c-" + plan_fingerprint(list(dedup_specs(specs)))
+        store.write_manifest(name, specs, shard=shard)
 
-    tier = store if resume else _WriteOnlyTier(store)
-    batch = run_batch(plan.specs, workers=workers, cache=tier,
-                      progress=progress)
-    store.write_index()
+        tally = _CampaignTally(progress, total=len(plan.specs))
+        if steal:
+            results, stolen = _run_stealing(
+                store, dedup_specs(plan.specs), shard, workers, resume,
+                lease_s, tally)
+        else:
+            tier = store if resume else _WriteOnlyTier(store)
+            batch = run_batch(plan.specs, workers=workers, cache=tier,
+                              progress=tally)
+            results = dict(zip(plan.fingerprints, batch))
+            stolen = 0
+        store.write_index()
 
-    results = {fp: result for fp, result in zip(plan.fingerprints, batch)}
-    resumed = len(plan.done) if resume else 0
-    return CampaignReport(
-        store=store,
-        name=store.safe_name(name),
-        plan=plan,
-        resumed=resumed,
-        hits=resumed,
-        misses=len(plan.specs) - resumed,
-        results=results,
-    )
+        return CampaignReport(
+            store=store,
+            name=store.safe_name(name),
+            plan=plan,
+            resumed=tally.hits,
+            hits=tally.hits,
+            misses=tally.misses,
+            stolen=stolen,
+            results=results,
+        )
+    finally:
+        if owned:
+            store.close()

@@ -15,6 +15,7 @@ On-disk layout (all paths under the store root)::
     log/<writer>.jsonl     append-only record segments, one per writer
     index.json             atomic snapshot: fingerprint -> (segment, offset)
     manifests/<name>.json  campaign checkpoints (planned fingerprint lists)
+    claims/<fp>.json       advisory work-stealing leases (see below)
 
 Crash and concurrency model
 ---------------------------
@@ -35,6 +36,22 @@ Crash and concurrency model
   deterministic simulations make the payloads interchangeable, and the
   scan order (segments sorted by name, offsets ascending, later wins) makes
   the served record deterministic.
+* Claim files (``claims/<fingerprint>.json``) are **advisory** leases
+  used by work-stealing campaigns (:func:`~repro.sim.campaign.run_campaign`
+  with ``steal=True``): a shard claims a fingerprint before simulating it
+  so other shards skip it, and a claim whose lease has expired (a
+  SIGKILL'd shard) is re-claimable.  They use the same
+  write-temp-then-``os.replace`` crash model as ``index.json``; a lost
+  claim race duplicates work (benign, see above) but never corrupts.
+* :meth:`compact` rewrites every live record into one fresh segment and
+  retires the old ones.  The new segment appears atomically (temp +
+  ``os.replace``), so a reader observes either the old segments, the
+  duplicated intermediate state, or the compacted store - all equivalent.
+  A SIGKILL mid-compaction leaves at most duplicates plus a stale index,
+  both of which :meth:`rebuild_index` recovers from.  Compaction assumes
+  no *writer* is appending concurrently (it is a maintenance operation:
+  ``python -m repro.tools store <dir> compact``); a segment that grows
+  while compaction runs is left in place, not retired.
 
 The store is duck-compatible with the parent-process-only
 :class:`~repro.sim.cache.ResultCache` (``get_spec``/``put_spec``) and
@@ -48,6 +65,7 @@ import hashlib
 import json
 import os
 import re
+import time
 import uuid
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
@@ -59,8 +77,13 @@ from repro.sim.spec import RunSpec
 #: on-disk schema version stamped into records, index, and manifests
 SCHEMA = 1
 
+#: default work-stealing lease duration; must comfortably exceed one
+#: spec's simulation time so live shards are not raided mid-run
+DEFAULT_LEASE_S = 300.0
+
 _LOG_DIR = "log"
 _MANIFEST_DIR = "manifests"
+_CLAIM_DIR = "claims"
 _INDEX_NAME = "index.json"
 _NAME_RE = re.compile(r"[^A-Za-z0-9_.-]+")
 
@@ -122,17 +145,27 @@ def _atomic_write_text(path: Path, text: str) -> None:
 class FingerprintStore:
     """Append-only, multi-writer result store keyed by RunSpec fingerprints.
 
-    >>> store = FingerprintStore("campaign_store")        # doctest: +SKIP
-    >>> store.put_spec(spec, result)                      # doctest: +SKIP
-    >>> store.get_spec(spec).finish_ps                    # doctest: +SKIP
+    >>> with FingerprintStore("campaign_store") as store:  # doctest: +SKIP
+    ...     store.put_spec(spec, result)                   # doctest: +SKIP
+    ...     store.get_spec(spec).finish_ps                 # doctest: +SKIP
     """
 
-    def __init__(self, root: "Path | str"):
+    def __init__(self, root: "Path | str",
+                 max_segment_bytes: Optional[int] = None):
         self.root = Path(root)
         self.log_dir = self.root / _LOG_DIR
         self.manifest_dir = self.root / _MANIFEST_DIR
+        self.claim_dir = self.root / _CLAIM_DIR
         self.log_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_dir.mkdir(parents=True, exist_ok=True)
+        self.claim_dir.mkdir(parents=True, exist_ok=True)
+        #: stable identity of this writer instance: names its log segment
+        #: and signs its work-stealing claims
+        self.writer_id = f"w{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        #: roll to a fresh segment once the current one would exceed this
+        #: (None = unbounded); a size cap bounds per-segment scan/compact
+        #: cost for long-lived stores
+        self.max_segment_bytes = max_segment_bytes
         #: fingerprint -> (segment name, byte offset, byte length)
         self._index: dict[str, tuple[str, int, int]] = {}
         #: segment name -> bytes scanned so far (complete lines only)
@@ -145,6 +178,12 @@ class FingerprintStore:
         self._segment_file = None
         self._load_index()
         self.refresh()
+
+    def __enter__(self) -> "FingerprintStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # read path
@@ -247,9 +286,12 @@ class FingerprintStore:
     # write path
     # ------------------------------------------------------------------
     def _own_segment(self):
-        """This writer's append-only segment (created on first write)."""
+        """This writer's append-only segment (created on first write, and
+        re-opened - same name, append mode - after a :meth:`close`, so one
+        store instance never scatters records over multiple segments)."""
         if self._segment_file is None:
-            self._segment_name = f"w{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+            if self._segment_name is None:
+                self._segment_name = f"{self.writer_id}.jsonl"
             self._segment_file = (self.log_dir / self._segment_name).open("ab")
         return self._segment_file
 
@@ -266,6 +308,13 @@ class FingerprintStore:
         line = (json.dumps(rec, sort_keys=True) + "\n").encode()
         f = self._own_segment()
         offset = f.tell()
+        if (self.max_segment_bytes is not None and offset > 0
+                and offset + len(line) > self.max_segment_bytes):
+            # size cap: retire this segment and start a fresh one
+            self.close()
+            self._segment_name = f"w{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+            f = self._own_segment()
+            offset = f.tell()
         f.write(line)
         f.flush()
         self._index[fp] = (self._segment_name, offset, len(line))
@@ -278,9 +327,102 @@ class FingerprintStore:
         return self.put(spec, result)
 
     def close(self) -> None:
+        """Close the open segment file descriptor (idempotent).  Reading
+        still works afterwards, and a later :meth:`put` re-opens the same
+        segment in append mode."""
         if self._segment_file is not None:
             self._segment_file.close()
             self._segment_file = None
+
+    # ------------------------------------------------------------------
+    # work-stealing claims (advisory leases; docs/campaigns.md)
+    # ------------------------------------------------------------------
+    def claim_path(self, fingerprint: str) -> Path:
+        return self.claim_dir / f"{fingerprint}.json"
+
+    def read_claim(self, fingerprint: str) -> Optional[dict]:
+        """The raw claim record for a fingerprint, or None."""
+        try:
+            claim = json.loads(self.claim_path(fingerprint).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(claim, dict) or claim.get("schema") != SCHEMA:
+            return None
+        return claim
+
+    def claim_holder(self, fingerprint: str) -> Optional[str]:
+        """Writer id of a live (unexpired) claim on ``fingerprint``, or
+        None when unclaimed / expired / unreadable."""
+        claim = self.read_claim(fingerprint)
+        if claim is None:
+            return None
+        try:
+            expires = float(claim["expires_unix"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        # leases are cross-host wall-clock deadlines, never simulation input
+        now = time.time()  # repro-lint: disable=DET002
+        if expires <= now:
+            return None
+        writer = claim.get("writer")
+        return writer if isinstance(writer, str) else None
+
+    def try_claim(self, fingerprint: str,
+                  lease_s: float = DEFAULT_LEASE_S,
+                  resimulate: bool = False) -> bool:
+        """Claim ``fingerprint`` for this writer for ``lease_s`` seconds.
+
+        Returns False when the record already exists (unless
+        ``resimulate``, the ``resume=False`` campaign path) or another
+        writer holds a live lease.  The claim is **advisory**: the atomic
+        write-then-read-back narrows the claim race to a tiny window, and
+        a lost race merely duplicates one deterministic simulation (the
+        store's duplicate model makes the payloads interchangeable)."""
+        if fingerprint in self._index and not resimulate:
+            return False
+        holder = self.claim_holder(fingerprint)
+        if holder is not None and holder != self.writer_id:
+            return False
+        now = time.time()  # repro-lint: disable=DET002
+        claim = {
+            "schema": SCHEMA,
+            "fingerprint": fingerprint,
+            "writer": self.writer_id,
+            "claimed_unix": now,
+            "expires_unix": now + float(lease_s),
+        }
+        try:
+            _atomic_write_text(self.claim_path(fingerprint),
+                               json.dumps(claim, indent=1, sort_keys=True))
+        except OSError:
+            return False
+        winner = self.read_claim(fingerprint)
+        return winner is not None and winner.get("writer") == self.writer_id
+
+    def release_claim(self, fingerprint: str) -> None:
+        """Drop this writer's claim on ``fingerprint`` (no-op for claims
+        held by others - their lease must expire on its own)."""
+        claim = self.read_claim(fingerprint)
+        if claim is not None and claim.get("writer") == self.writer_id:
+            try:
+                self.claim_path(fingerprint).unlink()
+            except OSError:
+                pass
+
+    def clear_stale_claims(self) -> int:
+        """Remove claims whose lease expired or whose record now exists;
+        returns how many were removed (the ``gc`` path)."""
+        removed = 0
+        for path in sorted(self.claim_dir.glob("*.json")):
+            fingerprint = path.stem
+            if (fingerprint in self._index
+                    or self.claim_holder(fingerprint) is None):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
 
     # ------------------------------------------------------------------
     # index snapshot
@@ -307,6 +449,120 @@ class FingerprintStore:
         self.corrupt_lines = 0
         self.refresh()
         return self.write_index()
+
+    # ------------------------------------------------------------------
+    # hygiene: compaction and garbage collection
+    # ------------------------------------------------------------------
+    def segments(self) -> list[str]:
+        """Names of every log segment on disk, in scan order."""
+        return sorted(p.name for p in self.log_dir.glob("*.jsonl"))
+
+    def compact(self) -> dict:
+        """Rewrite every live record into one fresh segment and retire the
+        old segments.  Returns a summary dict.
+
+        The compacted segment is written to a temp file and published with
+        ``os.replace``, so readers never observe a partial segment; a
+        crash between publish and retirement leaves duplicates, which the
+        normal scan model tolerates and a second ``compact()`` removes.
+        Assumes no concurrent *writer* (maintenance operation); any
+        segment that grows while compaction runs is left in place."""
+        self.close()
+        self.refresh()
+        old: dict[str, int] = {}
+        for name in self.segments():
+            try:
+                old[name] = (self.log_dir / name).stat().st_size
+            except OSError:
+                continue
+        bytes_before = sum(old.values())
+        live_bytes = sum(loc[2] for loc in self._index.values())
+        if len(old) <= 1 and live_bytes == bytes_before:
+            # a single fully-live segment: nothing to collapse
+            return {
+                "compacted": False,
+                "records": len(self._index),
+                "segments_before": len(old),
+                "segments_after": len(old),
+                "bytes_before": bytes_before,
+                "bytes_after": bytes_before,
+                "segments_retired": 0,
+            }
+        new_name = f"c{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+        tmp = self.log_dir / (
+            f"{new_name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        with tmp.open("wb") as f:
+            for fingerprint in sorted(self._index):
+                rec = self.get_record(fingerprint)
+                if rec is None:
+                    continue
+                f.write((json.dumps(rec, sort_keys=True) + "\n").encode())
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, self.log_dir / new_name)
+        retired = 0
+        for name, size in old.items():
+            path = self.log_dir / name
+            try:
+                if path.stat().st_size != size:
+                    continue  # grew mid-compaction: a live writer owns it
+                path.unlink()
+                retired += 1
+            except OSError:
+                continue
+        # the old in-memory offsets are dead; rebuild from the log
+        self._index.clear()
+        self._scanned.clear()
+        self._records.clear()
+        self.corrupt_lines = 0
+        self._segment_name = None  # a later put starts a fresh segment
+        self.refresh()
+        self.clear_stale_claims()
+        self.write_index()
+        bytes_after = sum(
+            (self.log_dir / name).stat().st_size for name in self.segments())
+        return {
+            "compacted": True,
+            "records": len(self._index),
+            "segments_before": len(old),
+            "segments_after": len(self.segments()),
+            "bytes_before": bytes_before,
+            "bytes_after": bytes_after,
+            "segments_retired": retired,
+        }
+
+    def gc(self) -> dict:
+        """Light hygiene pass: drop orphan temp files (crashed atomic
+        writes), expired/satisfied claims, and empty segments.  Unlike
+        :meth:`compact` this never rewrites records."""
+        self.refresh()
+        tmp_removed = 0
+        for directory in (self.root, self.log_dir, self.manifest_dir,
+                          self.claim_dir):
+            for tmp in directory.glob("*.tmp-*"):
+                try:
+                    tmp.unlink()
+                    tmp_removed += 1
+                except OSError:
+                    pass
+        claims_removed = self.clear_stale_claims()
+        empty_removed = 0
+        for name in self.segments():
+            if name == self._segment_name:
+                continue
+            path = self.log_dir / name
+            try:
+                if path.stat().st_size == 0:
+                    path.unlink()
+                    self._scanned.pop(name, None)
+                    empty_removed += 1
+            except OSError:
+                pass
+        return {
+            "tmp_files_removed": tmp_removed,
+            "stale_claims_removed": claims_removed,
+            "empty_segments_removed": empty_removed,
+        }
 
     # ------------------------------------------------------------------
     # inventory

@@ -30,16 +30,25 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     if args.store is not None and args.trace is None:
         # durable path: serve the spec from the fingerprint store when its
         # record exists, simulate-and-record otherwise (traced runs always
-        # simulate, so they take the live path below)
-        from repro.sim.campaign import run_campaign
+        # simulate, so they take the live path below).  Inspection is not
+        # a campaign: it must not write or clobber any manifest.
+        from repro.sim.campaign import run_batch
         from repro.sim.options import ExecOptions
         from repro.sim.spec import RunSpec
+        from repro.sim.store import FingerprintStore
 
         spec = RunSpec(args.arch, args.workload, n_records=args.records,
                        options=ExecOptions(sanitize=args.sanitize))
-        report = run_campaign([spec], args.store, name="inspect")
-        print(report.summary())
-        result = report.gather([spec])[0]
+        with FingerprintStore(args.store) as store:
+            result = store.get_spec(spec)
+            if result is not None:
+                print(f"store: hit {spec.content_hash()[:12]} "
+                      f"({len(store)} records in {store.root})")
+            else:
+                result = run_batch([spec], cache=store)[0]
+                store.write_index()
+                print(f"store: miss {spec.content_hash()[:12]} - simulated "
+                      f"and recorded ({len(store)} records in {store.root})")
     else:
         result = run(args.arch, args.workload, n_records=args.records,
                      sanitize=args.sanitize, trace=args.trace is not None,
@@ -93,6 +102,44 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.show_suppressed:
         argv.append("--show-suppressed")
     return lint_main(argv)
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    from repro.sim.store import FingerprintStore
+
+    with FingerprintStore(args.dir) as store:
+        if args.action == "info":
+            live_claims = sum(
+                1 for p in store.claim_dir.glob("*.json")
+                if store.claim_holder(p.stem) is not None)
+            total_bytes = sum(
+                (store.log_dir / name).stat().st_size
+                for name in store.segments())
+            print(f"store: {store.root}")
+            print(f"  records:       {len(store)}")
+            print(f"  segments:      {len(store.segments())} "
+                  f"({total_bytes} bytes)")
+            print(f"  manifests:     {len(store.manifest_names())}")
+            print(f"  live claims:   {live_claims}")
+            print(f"  corrupt lines: {store.corrupt_lines}")
+        elif args.action == "compact":
+            summary = store.compact()
+            if summary["compacted"]:
+                print(f"compacted {summary['records']} records: "
+                      f"{summary['segments_before']} -> "
+                      f"{summary['segments_after']} segments, "
+                      f"{summary['bytes_before']} -> "
+                      f"{summary['bytes_after']} bytes "
+                      f"({summary['segments_retired']} retired)")
+            else:
+                print(f"nothing to compact: {summary['records']} records "
+                      f"in {summary['segments_after']} segment(s)")
+        elif args.action == "gc":
+            summary = store.gc()
+            print(f"gc: removed {summary['tmp_files_removed']} temp files, "
+                  f"{summary['stale_claims_removed']} stale claims, "
+                  f"{summary['empty_segments_removed']} empty segments")
+    return 0
 
 
 def cmd_arches(args: argparse.Namespace) -> int:
@@ -152,6 +199,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     a = sub.add_parser("arches", help="list architectures and workloads")
     a.set_defaults(fn=cmd_arches)
+
+    st = sub.add_parser(
+        "store",
+        help="fingerprint-store maintenance: info, segment compaction, "
+        "garbage collection (docs/campaigns.md)")
+    st.add_argument("dir", help="store directory (the --store path)")
+    st.add_argument("action", choices=["info", "compact", "gc"],
+                    help="info: record/segment/claim inventory; compact: "
+                    "rewrite live records into one fresh segment and "
+                    "retire the old ones; gc: drop orphan temp files, "
+                    "expired claims, and empty segments")
+    st.set_defaults(fn=cmd_store)
 
     lt = sub.add_parser(
         "lint",

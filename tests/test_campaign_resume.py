@@ -166,7 +166,10 @@ class TestShardMerge:
     def test_three_shards_merge_equals_unsharded(self, tmp_path):
         """A fig3-sized campaign split 3 ways into one store produces the
         same results as an unsharded campaign, including exact equality
-        of every per-spec stats dict."""
+        of every per-spec stats dict.  ``steal=False`` pins the static
+        hard-assignment split this test is about (the default steals,
+        so sequential shards would leave nothing for the later ones -
+        tests/test_campaign_steal.py covers that path)."""
         specs = cross(["gpgpu", "ssmc", "millipede"],
                       ["count", "variance", "kmeans"], n_records=256)
         shared = tmp_path / "shared"
@@ -174,8 +177,10 @@ class TestShardMerge:
         for i in (1, 2, 3):
             # a distinct FingerprintStore instance per shard = the
             # multi-writer path (each appends to its own segment)
-            reports.append(run_campaign(
-                specs, FingerprintStore(shared), shard=(i, 3), name="fig3"))
+            with FingerprintStore(shared) as store:
+                reports.append(run_campaign(
+                    specs, store, shard=(i, 3), name="fig3",
+                    steal=False))
         for i, report in enumerate(reports, start=1):
             assert report.shard == (i, 3)
             assert report.hits == 0
@@ -200,7 +205,7 @@ class TestShardMerge:
     def test_final_merge_pass_simulates_nothing(self, tmp_path):
         specs = cross(["ssmc", "millipede"], ["count"], n_records=N)
         for i in (1, 2):
-            run_campaign(specs, tmp_path, shard=(i, 2))
+            run_campaign(specs, tmp_path, shard=(i, 2), steal=False)
         final = run_campaign(specs, tmp_path)
         assert final.hits == len(specs) and final.misses == 0
 

@@ -1,0 +1,386 @@
+"""Work-stealing campaign tests (ISSUE 9): lease claims, straggler and
+dead-shard stealing, progress-stream-derived counters, worker-memo
+eviction, and store lifecycle hygiene (no leaked descriptors)."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.sim import campaign
+from repro.sim.campaign import (
+    BatchProgress,
+    cross,
+    dedup_specs,
+    plan_campaign,
+    run_campaign,
+)
+from repro.sim.spec import RunSpec
+from repro.sim.store import FingerprintStore, canonical_result_blob
+
+from tests.test_store import make_result
+
+N = 256
+
+#: src/ directory for subprocess PYTHONPATH
+_SRC = str(Path(repro.__file__).resolve().parents[1])
+
+SPECS = cross(["ssmc", "millipede"], ["count"], n_records=N, seed=0) + \
+    cross(["ssmc", "millipede"], ["count"], n_records=N, seed=1)
+
+
+def _synthetic_run(spec, memo):
+    """Drop-in for campaign._run_with_memo: no simulation, stable result."""
+    return make_result(spec)
+
+
+# ----------------------------------------------------------------------
+# lease claims
+# ----------------------------------------------------------------------
+class TestClaims:
+    def test_claim_exclusive_until_released(self, tmp_path):
+        a, b = FingerprintStore(tmp_path), FingerprintStore(tmp_path)
+        fp = "f" * 64
+        assert a.try_claim(fp)
+        assert a.claim_holder(fp) == a.writer_id
+        assert b.claim_holder(fp) == a.writer_id
+        assert not b.try_claim(fp)
+        # re-claiming one's own lease extends it
+        assert a.try_claim(fp)
+        a.release_claim(fp)
+        assert a.claim_holder(fp) is None
+        assert b.try_claim(fp)
+        # releasing a claim held by someone else is a no-op
+        a.release_claim(fp)
+        assert b.claim_holder(fp) == b.writer_id
+
+    def test_claim_refused_for_recorded_fingerprint(self, tmp_path):
+        store = FingerprintStore(tmp_path)
+        spec = RunSpec("ssmc", "count", n_records=N)
+        store.put_spec(spec, make_result(spec))
+        assert not store.try_claim(spec.content_hash())
+
+    def test_expired_lease_is_reclaimable(self, tmp_path):
+        a, b = FingerprintStore(tmp_path), FingerprintStore(tmp_path)
+        fp = "e" * 64
+        assert a.try_claim(fp, lease_s=0.05)
+        time.sleep(0.1)
+        assert a.claim_holder(fp) is None  # expired
+        assert b.try_claim(fp, lease_s=60.0)
+        assert b.claim_holder(fp) == b.writer_id
+
+    def test_garbage_claim_file_treated_as_unclaimed(self, tmp_path):
+        store = FingerprintStore(tmp_path)
+        fp = "g" * 64
+        store.claim_path(fp).write_text("not json{{{")
+        assert store.claim_holder(fp) is None
+        assert store.try_claim(fp)
+
+    def test_clear_stale_claims(self, tmp_path):
+        store = FingerprintStore(tmp_path)
+        spec = RunSpec("ssmc", "count", n_records=N)
+        store.put_spec(spec, make_result(spec))
+        assert store.try_claim("a" * 64, lease_s=0.01)  # will expire
+        assert store.try_claim("b" * 64, lease_s=60.0)  # stays live
+        # a claim whose record has since landed is satisfied -> stale
+        store.claim_path(spec.content_hash()).write_text(json.dumps({
+            "schema": 1, "fingerprint": spec.content_hash(),
+            "writer": "w0-other", "claimed_unix": 0.0,
+            "expires_unix": time.time() + 60.0,
+        }))
+        time.sleep(0.05)
+        assert store.clear_stale_claims() == 2
+        assert store.claim_holder("b" * 64) == store.writer_id
+
+
+# ----------------------------------------------------------------------
+# stealing shards
+# ----------------------------------------------------------------------
+class TestStealingShards:
+    def test_one_stealing_shard_completes_the_campaign(self, tmp_path):
+        """Shard 1/3 running alone steals the other slices: the whole
+        campaign lands in the store, byte-identical to an unsharded run."""
+        shared = tmp_path / "shared"
+        report = run_campaign(SPECS, shared, shard=(1, 3), name="steal")
+        # a stealing report covers the full campaign, not just the slice
+        assert report.shard == (1, 3)
+        assert len(report.plan.specs) == len(SPECS)
+        assert report.misses == len(SPECS) and report.hits == 0
+        # positions 0 and 3 are the 1/3 slice; the other two were stolen
+        assert report.stolen == 2
+        assert report.missing(SPECS) == []
+        assert "stolen" in report.summary()
+
+        solo = run_campaign(SPECS, tmp_path / "solo")
+        for a, b in zip(report.gather(SPECS), solo.gather(SPECS)):
+            assert canonical_result_blob(a) == canonical_result_blob(b)
+
+        # late shards arrive to a finished campaign: pure hits, no claims
+        late = run_campaign(SPECS, shared, shard=(2, 3), name="steal")
+        assert late.hits == len(SPECS) and late.misses == 0
+        assert late.stolen == 0
+        assert list((shared / "claims").glob("*.json")) == []
+
+    def test_live_foreign_lease_is_not_raided(self, tmp_path):
+        """A fingerprint under a live foreign lease is left alone (its
+        holder is presumed working); once the lease goes away the next
+        stealing pass finishes the campaign."""
+        blocker = FingerprintStore(tmp_path)
+        blocked = SPECS[2]
+        assert blocker.try_claim(blocked.content_hash(), lease_s=60.0)
+
+        report = run_campaign(SPECS, tmp_path, steal=True)
+        assert report.misses == len(SPECS) - 1
+        assert report.missing(SPECS) == [blocked]
+
+        blocker.release_claim(blocked.content_hash())
+        again = run_campaign(SPECS, tmp_path, steal=True)
+        assert again.misses == 1 and again.hits == len(SPECS) - 1
+        assert again.missing(SPECS) == []
+
+    def test_dead_shards_expired_lease_is_stolen(self, tmp_path):
+        """A lease whose writer died (expired timestamp) does not block:
+        the stealing shard re-claims and simulates the fingerprint."""
+        store = FingerprintStore(tmp_path)
+        fp = SPECS[0].content_hash()
+        store.claim_path(fp).write_text(json.dumps({
+            "schema": 1, "fingerprint": fp, "writer": "w1-deadbeef",
+            "claimed_unix": 0.0, "expires_unix": 1.0,
+        }))
+        report = run_campaign(SPECS, store, steal=True)
+        assert report.misses == len(SPECS)
+        assert report.missing(SPECS) == []
+
+    def test_no_steal_restores_static_split(self, tmp_path):
+        report = run_campaign(SPECS, tmp_path, shard=(1, 2), steal=False)
+        assert len(report.plan.specs) == 2  # the slice, not the campaign
+        assert report.misses == 2 and report.stolen == 0
+        assert len(report.missing(SPECS)) == 2  # other shard's work owed
+
+    def test_steal_respects_no_resume(self, tmp_path):
+        run_campaign(SPECS[:2], tmp_path, steal=True)
+        report = run_campaign(SPECS[:2], tmp_path, steal=True, resume=False)
+        assert report.hits == 0 and report.misses == 2
+
+
+# ----------------------------------------------------------------------
+# SIGKILL'd shard recovery
+# ----------------------------------------------------------------------
+_CHILD = """
+import sys
+from repro.sim.campaign import run_campaign
+from repro.sim.spec import RunSpec
+
+specs = [RunSpec(a, "count", n_records=%d, seed=s)
+         for s in (0, 1) for a in ("ssmc", "millipede")]
+run_campaign(specs, sys.argv[1], workers=1, shard=(1, 2), name="steal",
+             lease_s=1.0)
+""" % N
+
+
+class TestDeadShardRecovery:
+    def test_sigkilled_shards_work_is_stolen(self, tmp_path):
+        """SIGKILL a stealing shard mid-campaign; its leases expire and a
+        second shard steals the rest, completing the campaign with
+        byte-identical merged results."""
+        store_dir = tmp_path / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _CHILD, str(store_dir)],
+            env=env, cwd=str(tmp_path),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            watch = None
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if watch is None and (store_dir / "log").is_dir():
+                    watch = FingerprintStore(store_dir)
+                if watch is not None:
+                    watch.refresh()
+                    if len(watch) >= 1:
+                        break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.01)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=60)
+        assert watch is not None, "child shard never produced a record"
+
+        # the killed shard may leave live leases behind; the survivor
+        # keeps passing until they expire (lease_s=1.0 in the child)
+        deadline = time.monotonic() + 120.0
+        report = None
+        while time.monotonic() < deadline:
+            report = run_campaign(SPECS, store_dir, shard=(2, 2),
+                                  name="steal", lease_s=30.0)
+            if not report.missing(SPECS):
+                break
+            time.sleep(0.2)
+        assert report is not None and report.missing(SPECS) == []
+        assert report.hits >= 1  # the child's flushed records were reused
+
+        fresh = run_campaign(SPECS, tmp_path / "fresh")
+        for a, b in zip(report.gather(SPECS), fresh.gather(SPECS)):
+            assert canonical_result_blob(a) == canonical_result_blob(b)
+
+
+# ----------------------------------------------------------------------
+# counters derive from the progress stream, not the plan
+# ----------------------------------------------------------------------
+class TestStreamDerivedCounters:
+    def test_racing_writer_mid_campaign_counts_as_hit(self, tmp_path):
+        """A record another shard lands *after* planning but *before* the
+        spec's wave is served as a hit - the plan-time done-count would
+        have called it a miss.  Deterministic stand-in for a racing
+        shard: the first progress event writes a later spec's record."""
+        racer = FingerprintStore(tmp_path)
+        last = SPECS[-1]
+        events: list[BatchProgress] = []
+
+        def progress(event: BatchProgress) -> None:
+            events.append(event)
+            if len(events) == 1:
+                racer.put_spec(last, make_result(last))
+
+        plan = plan_campaign(SPECS, tmp_path)
+        assert not plan.done  # nothing recorded at plan time
+        report = run_campaign(SPECS, tmp_path, steal=True, workers=1,
+                              progress=progress)
+        assert report.hits == 1 and report.resumed == 1
+        assert report.misses == len(SPECS) - 1
+        served = [e.spec for e in events if e.cached]
+        assert served == [last]
+        # the stream's cumulative counters agree with the report
+        assert events[-1].done == len(SPECS)
+        assert events[-1].hits == report.hits
+        assert events[-1].misses == report.misses
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        prerecorded=st.sets(st.integers(min_value=0, max_value=3)),
+        steal=st.booleans(),
+        resume=st.booleans(),
+        workers_hint=st.integers(min_value=1, max_value=2),
+    )
+    def test_prop_counters_match_event_stream(self, prerecorded, steal,
+                                              resume, workers_hint):
+        """For any pre-recorded subset and any steal/resume combination,
+        the report's counters equal what the BatchProgress stream says
+        actually happened (simulation stubbed out - pure bookkeeping)."""
+        real = campaign._run_with_memo
+        campaign._run_with_memo = _synthetic_run
+        try:
+            with tempfile.TemporaryDirectory() as tmp:
+                store = FingerprintStore(tmp)
+                for i in prerecorded:
+                    store.put_spec(SPECS[i], make_result(SPECS[i]))
+                events: list[BatchProgress] = []
+                report = run_campaign(
+                    SPECS, store, steal=steal, resume=resume, workers=1,
+                    progress=events.append)
+                total = len(dedup_specs(SPECS))
+                assert len(events) == total
+                assert [e.done for e in events] == list(range(1, total + 1))
+                assert all(e.total == total for e in events)
+                assert report.hits == sum(e.cached for e in events)
+                assert report.misses == sum(not e.cached for e in events)
+                assert report.resumed == report.hits
+                assert report.hits + report.misses == total
+                expected_hits = len(prerecorded) if resume else 0
+                assert report.hits == expected_hits
+                assert events[-1].hits == report.hits
+                assert events[-1].misses == report.misses
+        finally:
+            campaign._run_with_memo = real
+
+
+# ----------------------------------------------------------------------
+# worker-memo eviction
+# ----------------------------------------------------------------------
+class TestMemoEviction:
+    def test_memo_evicts_only_the_oldest_build(self, monkeypatch):
+        """Hitting _MEMO_LIMIT drops the single oldest BuiltWorkload, not
+        the whole memo - the hot newer builds survive by identity."""
+        monkeypatch.setattr(campaign, "_MEMO_LIMIT", 2)
+        monkeypatch.setattr(campaign, "_execute",
+                            lambda spec, wl, built: make_result(spec))
+        memo: dict = {}
+        s1 = RunSpec("ssmc", "count", n_records=128)
+        s2 = RunSpec("ssmc", "count", n_records=192)
+        s3 = RunSpec("ssmc", "count", n_records=320)
+        campaign._run_with_memo(s1, memo)
+        campaign._run_with_memo(s2, memo)
+        kept = memo[s2.build_key()]
+        assert list(memo) == [s1.build_key(), s2.build_key()]
+        campaign._run_with_memo(s3, memo)
+        assert list(memo) == [s2.build_key(), s3.build_key()]
+        assert memo[s2.build_key()] is kept  # survived, not rebuilt
+        # a hit on the survivor does not touch the memo
+        campaign._run_with_memo(s2, memo)
+        assert list(memo) == [s2.build_key(), s3.build_key()]
+
+
+# ----------------------------------------------------------------------
+# store lifecycle: context manager, one-segment-per-writer, no fd leaks
+# ----------------------------------------------------------------------
+class TestStoreLifecycle:
+    def test_context_manager_closes_then_reopens_same_segment(self, tmp_path):
+        spec, other = SPECS[0], SPECS[1]
+        with FingerprintStore(tmp_path) as store:
+            store.put_spec(spec, make_result(spec))
+        assert store._segment_file is None  # closed on exit
+        # a later put re-opens the *same* segment: still one file on disk
+        store.put_spec(other, make_result(other))
+        store.close()
+        assert len(store.segments()) == 1
+        fresh = FingerprintStore(tmp_path)
+        assert fresh.fingerprints() == {
+            spec.content_hash(), other.content_hash()}
+
+    def test_campaign_run_leaves_no_open_fds(self, tmp_path):
+        """Path-coerced stores are closed by run_campaign/api.run_batch:
+        repeated campaigns do not accumulate descriptors."""
+        from repro import api
+
+        real = campaign._run_with_memo
+        campaign._run_with_memo = _synthetic_run
+        try:
+            # warm up lazy imports/allocations before counting
+            run_campaign(SPECS, tmp_path / "warm")
+            before = len(os.listdir("/proc/self/fd"))
+            for i in range(5):
+                run_campaign(SPECS, tmp_path / f"c{i}")
+                run_campaign(SPECS, tmp_path / f"c{i}", shard=(1, 2))
+                api.run_batch(SPECS, store=tmp_path / f"b{i}")
+            after = len(os.listdir("/proc/self/fd"))
+        finally:
+            campaign._run_with_memo = real
+        assert after == before
+
+    def test_campaign_writes_one_segment_per_store_instance(self, tmp_path):
+        run_campaign(SPECS, tmp_path)
+        assert len(list((tmp_path / "log").glob("*.jsonl"))) == 1
+
+    def test_borrowed_store_stays_open(self, tmp_path):
+        """run_campaign closes stores it created, never one handed in."""
+        store = FingerprintStore(tmp_path)
+        spec = SPECS[0]
+        store.put_spec(spec, make_result(spec))
+        assert store._segment_file is not None
+        run_campaign([spec], store)
+        assert store._segment_file is not None  # untouched
+        store.close()

@@ -48,3 +48,66 @@ class TestToolsCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestInspectStore:
+    def test_inspect_store_records_then_hits_no_manifest(self, tmp_path,
+                                                         capsys):
+        """`inspect --store` is not a campaign: it records/serves through
+        the store but must not write any manifest (a fixed manifest name
+        would clobber the previous inspection's checkpoint)."""
+        store_dir = tmp_path / "store"
+        argv = ["inspect", "ssmc", "count", "--records", "512",
+                "--store", str(store_dir)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "store: miss" in out and "roofline" in out
+        assert list((store_dir / "manifests").glob("*")) == []
+
+        # the repeat is a store hit, not a re-simulation
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "store: hit" in out
+        assert list((store_dir / "manifests").glob("*")) == []
+
+    def test_inspect_store_ignored_for_traced_runs(self, tmp_path, capsys):
+        assert main(["inspect", "ssmc", "count", "--records", "512",
+                     "--store", str(tmp_path / "s"),
+                     "--trace", str(tmp_path / "traces")]) == 0
+        out = capsys.readouterr().out
+        assert "store:" not in out and "trace:" in out
+
+
+class TestStoreCommand:
+    def test_store_info_compact_gc(self, tmp_path, capsys):
+        from repro.sim.spec import RunSpec
+        from repro.sim.store import FingerprintStore, canonical_result_blob
+
+        from tests.test_store import make_result
+
+        store_dir = tmp_path / "store"
+        specs = [RunSpec(a, "count", n_records=512)
+                 for a in ("ssmc", "millipede")]
+        for spec in specs:  # one writer instance each -> two segments
+            with FingerprintStore(store_dir) as writer:
+                writer.put_spec(spec, make_result(spec))
+
+        assert main(["store", str(store_dir), "info"]) == 0
+        out = capsys.readouterr().out
+        assert "records:       2" in out and "segments:      2" in out
+
+        assert main(["store", str(store_dir), "compact"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 2 records: 2 -> 1 segments" in out
+        reader = FingerprintStore(store_dir)
+        assert len(reader.segments()) == 1
+        for spec in specs:
+            assert canonical_result_blob(reader.get_spec(spec)) == \
+                canonical_result_blob(make_result(spec))
+
+        # a second compact is a no-op; gc reports a clean store
+        assert main(["store", str(store_dir), "compact"]) == 0
+        assert "nothing to compact" in capsys.readouterr().out
+        assert main(["store", str(store_dir), "gc"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 temp files, 0 stale claims" in out

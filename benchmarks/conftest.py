@@ -67,7 +67,9 @@ def record_bench(section: str, payload: dict, file: str = "interp") -> Path:
     never another benchmark's), so recorders can land in any order."""
     path = BENCH_PATHS[file]
     data = _load(path)
-    now = time.time()
+    # bench trajectory timestamps are calendar metadata, never sim input;
+    # see docs/linting.md
+    now = time.time()  # repro-lint: disable=DET002
     # schema 2: the interp section nests per-arch sections under "arches"
     # (schema 1 was one flat millipede section)
     data["schema"] = 2

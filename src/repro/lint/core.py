@@ -5,7 +5,8 @@ The linter is the static counterpart of the runtime sanitizer
 configs we happen to execute, the linter checks whole-codebase properties
 on every source file — determinism of sim-reachable code, observer-hook
 conformance against the actual dispatch sites, stats-registry discipline,
-pickle/multiprocess safety, and observer purity.
+pickle/multiprocess safety, observer purity, filesystem crash-safety,
+cross-process discipline, and NumPy determinism.
 
 Structure
 ---------
@@ -16,6 +17,15 @@ Structure
   :meth:`Rule.check_module` and, for cross-file analyses (hook
   conformance, mixed counter semantics), the whole set again via
   :meth:`Rule.finish_project`.
+* **Project layer** — :class:`ModuleFlow` gives every rule an
+  intraprocedural view of one module (import aliases, per-scope binding
+  tables, value provenance as :class:`Origin`, parent links), and
+  :class:`Project` stitches the analyzed modules together (module
+  naming, a symbol table of every top-level function/method, and call
+  resolution across files).  The runner builds one :class:`Project` per
+  run and hands it to every rule as ``rule.project``, which is what lets
+  rules see through aliased imports, value-aliased bindings
+  (``clock = time.time; clock()``), and one level of helper calls.
 * :class:`LintRunner` — walks ``.py`` files, parses them once, runs every
   selected rule, applies inline suppressions, and returns a
   :class:`LintReport`.
@@ -27,11 +37,21 @@ those rules on that line; on a line of its own it suppresses them on the
 next line.  ``disable=all`` suppresses every rule.  Suppressed findings
 are retained (so ``--show-suppressed`` can audit them) but do not fail
 the run.
+
+Baselines
+---------
+:meth:`LintReport.apply_baseline` demotes findings already present in a
+recorded baseline (keyed per ``rule:path``, count-ratcheted) so a new
+rule family can land warn-only and be driven to zero finding-by-finding;
+``python -m repro.lint --baseline FILE`` / ``--update-baseline`` is the
+CLI surface.
 """
 
 from __future__ import annotations
 
 import ast
+import builtins
+import dataclasses
 import io
 import re
 import tokenize
@@ -52,9 +72,11 @@ class Finding:
     col: int  #: 0-based column offset
     message: str
     suppressed: bool = False  #: matched an inline ``repro-lint: disable``
+    baselined: bool = False  #: present in the ``--baseline`` snapshot
 
     def text(self) -> str:
-        tag = " (suppressed)" if self.suppressed else ""
+        tag = (" (suppressed)" if self.suppressed
+               else " (baselined)" if self.baselined else "")
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
 
     def to_dict(self) -> dict:
@@ -65,6 +87,7 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "suppressed": self.suppressed,
+            "baselined": self.baselined,
         }
 
 
@@ -78,10 +101,35 @@ class ModuleInfo:
         self.tree = ast.parse(source, filename=display_path)
         #: line number -> set of rule ids (or ``{"all"}``) disabled there
         self.suppressions: dict[int, set[str]] = _parse_suppressions(source)
+        #: dotted import name derived from the package layout on disk
+        self.module_name = module_name_for(path)
+        self._flow: "Optional[ModuleFlow]" = None
+
+    @property
+    def flow(self) -> "ModuleFlow":
+        """The module's intraprocedural dataflow view (built lazily)."""
+        if self._flow is None:
+            self._flow = ModuleFlow(self)
+        return self._flow
 
     def suppressed(self, rule: str, line: int) -> bool:
         rules = self.suppressions.get(line)
         return rules is not None and ("all" in rules or rule in rules)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from the on-disk package layout: walk up while
+    ``__init__.py`` siblings exist (``src/repro/sim/store.py`` ->
+    ``repro.sim.store``); a file outside any package is just its stem."""
+    path = Path(path)
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
 
 
 def _parse_suppressions(source: str) -> dict[int, set[str]]:
@@ -117,6 +165,10 @@ class Rule:
     id: str = ""
     name: str = ""
     rationale: str = ""
+    #: the active :class:`Project`, set by :class:`LintRunner` before the
+    #: first ``check_module`` call; rules use it for cross-module
+    #: resolution (``self.project.called_function(module, call)``)
+    project: "Optional[Project]" = None
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         return iter(())
@@ -222,6 +274,331 @@ def canonical_call(node: ast.Call, aliases: dict[str, str]) -> Optional[str]:
 
 
 # ----------------------------------------------------------------------
+# project layer: per-module dataflow + cross-module symbol resolution
+# ----------------------------------------------------------------------
+#: provenance kinds produced by :meth:`ModuleFlow.origin`
+#: ``ref``     an import-rooted dotted path (``clock = time.time``)
+#: ``def``     a function/class defined in this module
+#: ``call``    the value returned by a call (``p = claim_path(fp)``)
+#: ``param``   a parameter of the enclosing function
+#: ``const``   a literal constant
+#: ``expr``    some other expression (BinOp, comprehension, ...)
+#: ``unknown`` an opaque binding (loop target, ``with ... as``, ...)
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class Origin:
+    """Where a value came from, as far as one function can tell."""
+
+    kind: str
+    path: Optional[str] = None  #: canonical dotted path (ref/def/call)
+    node: Optional[ast.AST] = None  #: the defining value expression
+
+    def is_call_to(self, *paths: str) -> bool:
+        return self.kind == "call" and self.path in paths
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One assignment of a name within a scope."""
+
+    name: str
+    lineno: int
+    value: Optional[ast.expr]  #: None for opaque bindings (loop vars, ...)
+
+
+def call_name_tail(node: ast.AST) -> Optional[str]:
+    """The last identifier of a call target (``self._path`` -> ``_path``,
+    ``claim_path`` -> ``claim_path``); None for lambdas/subscripts."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+")
+
+#: names resolvable to themselves when nothing shadows them (so rules can
+#: match ``set``/``open``/``sum`` canonically, same as imported targets)
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+class ModuleFlow:
+    """Intraprocedural dataflow for one module: per-scope binding tables,
+    parent links, and provenance queries.  This is what lets rules see
+    through value-aliased bindings and recognise what produced a value."""
+
+    #: resolution depth bound for alias chains (a = b; b = c; ...)
+    MAX_DEPTH = 6
+
+    def __init__(self, module: ModuleInfo):
+        self.module = module
+        self.aliases = import_aliases(module.tree)
+        #: id(child) -> parent node, for scope lookup
+        self.parents: dict[int, ast.AST] = {}
+        #: id(scope node) -> name -> [Binding, ...] in line order
+        self._bindings: dict[int, dict[str, list[Binding]]] = {}
+        #: id(scope node) -> set of parameter names
+        self._params: dict[int, set[str]] = {}
+        #: module-level function/class defs by name
+        self.top_defs: dict[str, ast.AST] = {}
+
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[id(child)] = node
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                self.top_defs[stmt.name] = stmt
+        for node in ast.walk(module.tree):
+            if isinstance(node, _SCOPE_NODES):
+                a = node.args
+                names = {p.arg for p in (a.posonlyargs + a.args + a.kwonlyargs)}
+                if a.vararg:
+                    names.add(a.vararg.arg)
+                if a.kwarg:
+                    names.add(a.kwarg.arg)
+                self._params[id(node)] = names
+            self._collect_bindings(node)
+
+    # -- binding collection --------------------------------------------
+    def _collect_bindings(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                self._bind_target(tgt, node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._bind_target(node.target, node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._bind_target(node.target, None)  # opaque: loop-carried
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    # ``with open(p) as f``: provenance is the ctx manager
+                    self._bind_target(item.optional_vars, item.context_expr)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            scope = self.scope_of(node)
+            self._scope_table(scope).setdefault(node.name, []).append(
+                Binding(node.name, node.lineno, None))
+        elif isinstance(node, (ast.NamedExpr,)):
+            if isinstance(node.target, ast.Name):
+                self._bind_target(node.target, node.value)
+
+    def _bind_target(self, tgt: ast.expr, value: Optional[ast.expr]) -> None:
+        if isinstance(tgt, (ast.Tuple, ast.List)):
+            for elt in tgt.elts:
+                self._bind_target(elt, None)  # unpacking: opaque pieces
+        elif isinstance(tgt, ast.Name):
+            scope = self.scope_of(tgt)
+            self._scope_table(scope).setdefault(tgt.id, []).append(
+                Binding(tgt.id, tgt.lineno, value))
+
+    def _scope_table(self, scope: ast.AST) -> dict[str, list[Binding]]:
+        return self._bindings.setdefault(id(scope), {})
+
+    # -- scope navigation ----------------------------------------------
+    def scope_of(self, node: ast.AST) -> ast.AST:
+        """The innermost function (or the module) enclosing ``node``."""
+        cur = self.parents.get(id(node))
+        while cur is not None:
+            if isinstance(cur, _SCOPE_NODES):
+                return cur
+            cur = self.parents.get(id(cur))
+        return self.module.tree
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        scope = self.scope_of(node)
+        return None if isinstance(scope, ast.Module) else scope
+
+    def _scope_chain(self, scope: ast.AST) -> list[ast.AST]:
+        chain = [scope]
+        while not isinstance(chain[-1], ast.Module):
+            nxt = self.scope_of(chain[-1])
+            chain.append(nxt)
+        return chain
+
+    def binding_of(self, name: str, at: ast.AST) -> Optional[Binding]:
+        """The binding of ``name`` visible at node ``at``: the last
+        assignment at or before ``at``'s line in the innermost scope that
+        has one (params shadow outer scopes and report no binding)."""
+        line = getattr(at, "lineno", None)
+        for scope in self._scope_chain(self.scope_of(at)):
+            if name in self._params.get(id(scope), ()):
+                return None  # a parameter: provenance is the caller's
+            bindings = self._bindings.get(id(scope), {}).get(name)
+            if bindings:
+                before = [b for b in bindings
+                          if line is None or b.lineno <= line]
+                return (before or bindings)[-1]
+        return None
+
+    # -- provenance ----------------------------------------------------
+    def canonical(self, expr: ast.AST, _depth: int = 0) -> Optional[str]:
+        """The canonical dotted path of a name/attribute chain, resolved
+        through import aliases, value-aliased bindings, and module-level
+        defs: ``clock = time.time; clock`` -> ``"time.time"``."""
+        if _depth > self.MAX_DEPTH:
+            return None
+        parts: list[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        tail = list(reversed(parts))
+        origin = self._resolve_name(node, _depth)
+        if origin is None or origin.kind not in ("ref", "def"):
+            return None
+        return ".".join([origin.path] + tail) if tail else origin.path
+
+    def _resolve_name(self, node: ast.Name, _depth: int) -> Optional[Origin]:
+        binding = self.binding_of(node.id, node)
+        if binding is not None:
+            if binding.value is None:
+                return Origin("unknown")
+            return self.origin(binding.value, _depth + 1)
+        base = self.aliases.get(node.id)
+        if base is not None:
+            return Origin("ref", base)
+        if node.id in self.top_defs:
+            return Origin("def", f"{self.module.module_name}.{node.id}",
+                          self.top_defs[node.id])
+        if node.id in _BUILTIN_NAMES:
+            return Origin("ref", node.id)
+        return None
+
+    def origin(self, expr: ast.AST, _depth: int = 0) -> Origin:
+        """Provenance of an arbitrary expression (see the kinds above)."""
+        if _depth > self.MAX_DEPTH:
+            return Origin("unknown")
+        if isinstance(expr, ast.Call):
+            return Origin("call", self.canonical(expr.func, _depth), expr)
+        if isinstance(expr, ast.Constant):
+            return Origin("const", None, expr)
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            path = self.canonical(expr, _depth)
+            if path is not None:
+                return Origin("ref", path, expr)
+            root = root_name(expr)
+            if root is not None:
+                fn = self.enclosing_function(expr)
+                if fn is not None and root in self._params.get(id(fn), ()):
+                    return Origin("param", root, expr)
+                binding = self.binding_of(root, expr)
+                if binding is not None and binding.value is not None:
+                    if isinstance(expr, ast.Name):
+                        return self.origin(binding.value, _depth + 1)
+                    # attribute of a tracked value: keep the base's origin
+                    base = self.origin(binding.value, _depth + 1)
+                    return Origin("expr", base.path, expr)
+            return Origin("unknown", None, expr)
+        return Origin("expr", None, expr)
+
+    def call_target(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted path of a call's target, through aliases and
+        value bindings; None when unresolvable."""
+        return self.canonical(call.func)
+
+    def markers(self, expr: ast.AST, _depth: int = 0) -> set[str]:
+        """Lowercase identifier/string tokens appearing anywhere in the
+        construction of ``expr``, following binding hops for names: the
+        fuzzy half of shared-path recognition (``store.claim_path(fp)``
+        -> {"store", "claim", "path", "fp"})."""
+        if _depth > self.MAX_DEPTH:
+            return set()
+        out: set[str] = set()
+        for node in ast.walk(expr if isinstance(expr, ast.AST) else expr):
+            if isinstance(node, ast.Name):
+                out.update(_tokens(node.id))
+                binding = self.binding_of(node.id, node)
+                if binding is not None and binding.value is not None:
+                    out |= self.markers(binding.value, _depth + 1)
+            elif isinstance(node, ast.Attribute):
+                out.update(_tokens(node.attr))
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                out.update(_tokens(node.value))
+        return out
+
+
+def _tokens(text: str) -> set[str]:
+    return {t.lower() for t in _TOKEN_RE.findall(text)}
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One function in the project symbol table."""
+
+    canonical: str  #: ``module.qualname`` (methods: ``module.Class.meth``)
+    module: ModuleInfo
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+
+    @property
+    def params(self) -> list[str]:
+        a = self.node.args
+        return [p.arg for p in (a.posonlyargs + a.args + a.kwonlyargs)]
+
+
+class Project:
+    """Cross-module view of one lint run: module naming, a symbol table
+    of every function, and call resolution from any module to any other.
+
+    Rules receive the active project as ``self.project`` (set by
+    :class:`LintRunner` before the first ``check_module`` call), which is
+    what powers one-level interprocedural checks: resolve a call with
+    :meth:`resolve_call`, fetch the callee's definition with
+    :meth:`function`, and analyze its body."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules = list(modules)
+        self.by_name: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionSymbol] = {}
+        for module in self.modules:
+            # first module wins a name collision (deterministic: sorted walk)
+            self.by_name.setdefault(module.module_name, module)
+        for module in self.modules:
+            if self.by_name.get(module.module_name) is not module:
+                continue
+            prefix = module.module_name
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add_function(f"{prefix}.{stmt.name}", module, stmt)
+                elif isinstance(stmt, ast.ClassDef):
+                    for item in stmt.body:
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            self._add_function(
+                                f"{prefix}.{stmt.name}.{item.name}",
+                                module, item)
+
+    def _add_function(self, canonical: str, module: ModuleInfo,
+                      node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self.functions.setdefault(
+            canonical, FunctionSymbol(canonical, module, node))
+
+    def function(self, canonical: Optional[str]) -> Optional[FunctionSymbol]:
+        """The project-defined function behind a canonical dotted path, or
+        None when it resolves outside the analyzed file set."""
+        if canonical is None:
+            return None
+        return self.functions.get(canonical)
+
+    def resolve_call(self, module: ModuleInfo,
+                     call: ast.Call) -> Optional[str]:
+        """Canonical dotted path of ``call``'s target as seen from
+        ``module`` (through import aliases and value bindings)."""
+        return module.flow.call_target(call)
+
+    def called_function(self, module: ModuleInfo,
+                        call: ast.Call) -> Optional[FunctionSymbol]:
+        """The project-defined callee of ``call``, one resolution hop."""
+        return self.function(self.resolve_call(module, call))
+
+
+# ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
 @dataclass
@@ -237,14 +614,48 @@ class LintReport:
         return [f for f in self.findings if not f.suppressed]
 
     @property
+    def failing(self) -> list[Finding]:
+        """Findings that fail the run: unsuppressed and not baselined."""
+        return [f for f in self.findings
+                if not f.suppressed and not f.baselined]
+
+    @property
     def ok(self) -> bool:
-        return not self.unsuppressed and not self.errors
+        return not self.failing and not self.errors
 
     def by_rule(self) -> dict[str, int]:
         counts: dict[str, int] = {}
-        for f in self.unsuppressed:
+        for f in self.failing:
             counts[f.rule] = counts.get(f.rule, 0) + 1
         return dict(sorted(counts.items()))
+
+    def baseline_counts(self) -> dict[str, int]:
+        """Current unsuppressed findings keyed ``"RULE:path"`` — the
+        ratchet unit recorded by ``--update-baseline``."""
+        counts: dict[str, int] = {}
+        for f in self.unsuppressed:
+            key = f"{f.rule}:{f.path}"
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def apply_baseline(self, counts: dict[str, int]) -> int:
+        """Demote up to ``counts["RULE:path"]`` unsuppressed findings per
+        key to ``baselined`` (earliest lines first, so a *new* finding in
+        an already-dirty file still fails).  Returns how many findings
+        were demoted.  The ratchet only ever tightens: keys absent from
+        ``counts`` stay failing, and fixing a finding shrinks the next
+        recorded baseline."""
+        budget = dict(counts)
+        demoted = 0
+        for i, f in enumerate(self.findings):
+            if f.suppressed:
+                continue
+            key = f"{f.rule}:{f.path}"
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                self.findings[i] = dataclasses.replace(f, baselined=True)
+                demoted += 1
+        return demoted
 
     def to_dict(self) -> dict:
         return {
@@ -252,6 +663,8 @@ class LintReport:
             "ok": self.ok,
             "errors": list(self.errors),
             "summary": self.by_rule(),
+            "suppressed": sum(1 for f in self.findings if f.suppressed),
+            "baselined": sum(1 for f in self.findings if f.baselined),
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -295,9 +708,11 @@ class LintRunner:
                 report.errors.append(f"{display}: {exc}")
         report.files = len(modules)
 
+        project = Project(modules)
         raw: list[Finding] = []
         by_path = {m.display_path: m for m in modules}
         for rule in self.rules:
+            rule.project = project
             for module in modules:
                 raw.extend(rule.check_module(module))
             raw.extend(rule.finish_project(modules))

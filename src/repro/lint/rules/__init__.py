@@ -4,7 +4,10 @@ with :data:`repro.lint.core.REGISTRY`."""
 from repro.lint.rules import (  # noqa: F401
     api_options,
     determinism,
+    fs_safety,
     hooks,
+    ipc,
+    numpy_det,
     pickle_safety,
     purity,
     stats,

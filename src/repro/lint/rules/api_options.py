@@ -21,11 +21,19 @@ from repro.lint.core import Finding, ModuleInfo, Rule, register
 _FLAT_FLAGS = ("validate", "sanitize", "trace", "backend")
 
 
-def _is_runspec_ctor(func: ast.expr) -> bool:
-    if isinstance(func, ast.Name):
-        return func.id == "RunSpec"
-    if isinstance(func, ast.Attribute):
-        return func.attr == "RunSpec"
+def _is_runspec_ctor(func: ast.expr,
+                     module: "ModuleInfo | None" = None) -> bool:
+    if isinstance(func, ast.Name) and func.id == "RunSpec":
+        return True
+    if isinstance(func, ast.Attribute) and func.attr == "RunSpec":
+        return True
+    if module is not None:
+        # flow hop: ``from repro.sim.spec import RunSpec as RS`` or
+        # ``Spec = RunSpec; Spec(...)``
+        canonical = module.flow.canonical(func)
+        if canonical is not None and (
+                canonical == "RunSpec" or canonical.endswith(".RunSpec")):
+            return True
     return False
 
 
@@ -43,7 +51,7 @@ class FlatExecFlagsRule(Rule):
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not (isinstance(node, ast.Call)
-                    and _is_runspec_ctor(node.func)):
+                    and _is_runspec_ctor(node.func, module)):
                 continue
             flat = [kw.arg for kw in node.keywords if kw.arg in _FLAT_FLAGS]
             if not flat:

@@ -17,8 +17,6 @@ from repro.lint.core import (
     Finding,
     ModuleInfo,
     Rule,
-    canonical_call,
-    import_aliases,
     register,
 )
 
@@ -61,11 +59,12 @@ class UnseededRandomRule(Rule):
     )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
-        aliases = import_aliases(module.tree)
+        # flow-aware: resolves aliased imports AND value-aliased bindings
+        # (``factory = np.random.default_rng; factory()``)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            target = canonical_call(node, aliases)
+            target = module.flow.call_target(node)
             if target is None:
                 continue
             msg = self._diagnose(target, node)
@@ -104,11 +103,10 @@ class WallClockRule(Rule):
     )
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
-        aliases = import_aliases(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            target = canonical_call(node, aliases)
+            target = module.flow.call_target(node)
             if target in _WALL_CLOCK:
                 yield self.finding(
                     module, node,
@@ -118,13 +116,21 @@ class WallClockRule(Rule):
                 )
 
 
-def _is_set_expr(node: ast.AST) -> bool:
-    """Set display, set comprehension, or a bare set()/frozenset() call."""
+def _is_set_expr(node: ast.AST, module: "ModuleInfo | None" = None) -> bool:
+    """Set display, set comprehension, a set()/frozenset() call, or (with
+    flow) a name bound to one (``s = set(xs); for x in s``)."""
     if isinstance(node, (ast.Set, ast.SetComp)):
         return True
     if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
             and node.func.id in ("set", "frozenset")):
         return True
+    if module is not None and isinstance(node, ast.Name):
+        origin = module.flow.origin(node)
+        if origin.is_call_to("set", "frozenset"):
+            return True
+        if origin.node is not None and isinstance(origin.node,
+                                                  (ast.Set, ast.SetComp)):
+            return True
     return False
 
 
@@ -139,18 +145,27 @@ class SetIterationRule(Rule):
     )
 
     _ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate"}
+    #: consumers whose result does not depend on iteration order — a
+    #: comprehension fed straight into one of these is fine
+    _ORDER_INSENSITIVE_SINKS = {
+        "sorted", "set", "frozenset", "sum", "min", "max", "len",
+        "any", "all", "dict",
+    }
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
-            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            if (isinstance(node, (ast.For, ast.AsyncFor))
+                    and _is_set_expr(node.iter, module)):
                 yield self.finding(
                     module, node.iter,
                     "iteration over a set has nondeterministic order; "
                     "iterate sorted(...) instead",
                 )
             elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                if self._order_insensitive_sink(module, node):
+                    continue
                 for gen in node.generators:
-                    if _is_set_expr(gen.iter):
+                    if _is_set_expr(gen.iter, module):
                         yield self.finding(
                             module, gen.iter,
                             "comprehension over a set has nondeterministic "
@@ -158,9 +173,17 @@ class SetIterationRule(Rule):
                         )
             elif (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
                   and node.func.id in self._ORDER_SENSITIVE_WRAPPERS
-                  and node.args and _is_set_expr(node.args[0])):
+                  and node.args and _is_set_expr(node.args[0], module)):
                 yield self.finding(
                     module, node,
                     f"{node.func.id}() of a set captures nondeterministic "
                     "order; use sorted(...) instead",
                 )
+
+    def _order_insensitive_sink(self, module: ModuleInfo,
+                                node: ast.AST) -> bool:
+        parent = module.flow.parents.get(id(node))
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in self._ORDER_INSENSITIVE_SINKS
+                and node in parent.args)

@@ -1,0 +1,299 @@
+"""Crash-safety rules for shared on-disk state (FS).
+
+The campaign arc rests on one filesystem discipline, implemented by
+:mod:`repro.sim.store`: shared artifacts (``index.json``, campaign
+manifests, ``claims/<fp>.json``) are published by writing a **uniquely
+named temp file** in full, flushing and ``os.fsync``-ing it, then
+``os.replace``-ing it over the live name — so a reader (or a crash) sees
+either the old bytes or the new bytes, never a torn file.  These rules
+enforce the idiom everywhere the *path vocabulary* says a file is shared:
+
+- FS001 — a direct write (``.write_text``/``.write_bytes``/``json.dump``
+  onto an ``open(..., "w")``) lands on a path whose construction mentions
+  index/manifest/claim/lease/segment vocabulary and is not a temp file.
+- FS002 — ``os.replace`` publishes a temp file that was never fsynced in
+  the enclosing function: the rename can be durable before the data is,
+  so a power cut leaves a *complete-looking* empty/torn file (worse than
+  no file — it parses as corruption, not absence).
+- FS003 — a temp path named with a constant ``tmp`` suffix but no
+  uniqueness component (``os.getpid()``/``uuid``/``mkstemp``): two
+  writers stage to the same temp name and replace each other's bytes.
+- FS004 — check-then-act on a shared path: ``exists()`` guarding a write
+  in a multi-writer tree is a race; write unconditionally through the
+  atomic idiom (or open with ``O_EXCL``) instead.
+
+Path recognition is *marker-based* (``ModuleFlow.markers``): fuzzy by
+design, tuned to this repo's naming.  Sanctioned low-level implementers
+(``_atomic_write_text`` itself, tests forging foreign claims) carry
+inline suppressions with justifications in ``docs/linting.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ModuleInfo, Rule, register
+
+#: tokens marking a path as shared mutable state (multi-process readers)
+_SHARED_TOKENS = {"index", "manifest", "claim", "claims", "lease", "segment"}
+#: tokens marking a path as a private staging file
+_TEMP_TOKENS = {"tmp", "temp"}
+#: tokens marking a temp name as collision-free
+_UNIQUE_TOKENS = {"mkstemp", "getpid", "pid", "uuid", "uuid4",
+                  "writer", "hex", "namedtemporaryfile", "mktemp"}
+
+_WRITE_METHODS = {"write_text", "write_bytes"}
+#: ``open`` / ``Path.open`` modes that truncate in place
+_TRUNCATING_MODES = {"w", "wb", "w+", "wb+", "w+b", "wt"}
+
+
+def _call_markers(module: ModuleInfo, expr: ast.AST) -> set[str]:
+    return module.flow.markers(expr)
+
+
+def _shallow_tokens(expr: ast.AST) -> set[str]:
+    """Identifier/string tokens of the expression itself, *without*
+    following binding hops — the temp-name exemption must look at the
+    path being written, not at whatever store root it derives from."""
+    out: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            out.update(_split_tokens(node.id))
+        elif isinstance(node, ast.Attribute):
+            out.update(_split_tokens(node.attr))
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.update(_split_tokens(node.value))
+    return out
+
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+")
+
+
+def _split_tokens(text: str) -> set[str]:
+    return {t.lower() for t in _TOKEN_RE.findall(text)}
+
+
+def _is_shared_path(module: ModuleInfo, expr: ast.AST) -> bool:
+    if not (_call_markers(module, expr) & _SHARED_TOKENS):
+        return False
+    return not (_shallow_tokens(expr) & _TEMP_TOKENS)
+
+
+def _write_mode(call: ast.Call, mode_pos: int) -> Optional[str]:
+    """The mode string of an ``open``-style call (positional at
+    ``mode_pos`` — 1 for builtin ``open(p, m)``, 0 for ``Path.open(m)`` —
+    or the ``mode=`` keyword), or None: no mode defaults to ``"r"``."""
+    if len(call.args) > mode_pos:
+        arg = call.args[mode_pos]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant) and \
+                isinstance(kw.value.value, str):
+            return kw.value.value
+    return None
+
+
+def _opened_for_write(module: ModuleInfo, expr: ast.AST) -> Optional[ast.AST]:
+    """If ``expr`` is (or is bound to) a truncating ``open``/``.open``
+    call, the path expression being opened; else None."""
+    node: Optional[ast.AST] = expr
+    if isinstance(node, ast.Name):
+        binding = module.flow.binding_of(node.id, node)
+        node = binding.value if binding is not None else None
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open" and node.args:
+        if _write_mode(node, 1) in _TRUNCATING_MODES:
+            return node.args[0]
+        return None
+    if isinstance(func, ast.Attribute) and func.attr == "open":
+        if _write_mode(node, 0) in _TRUNCATING_MODES:
+            return func.value
+    return None
+
+
+@register
+class NonAtomicSharedWriteRule(Rule):
+    id = "FS001"
+    name = "non-atomic-shared-write"
+    rationale = (
+        "a direct write truncates the live file first: a crash (or a "
+        "concurrent reader) between truncate and final flush observes a "
+        "torn index/manifest/claim — publish via write-temp-then-"
+        "os.replace instead"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._shared_write_target(module, node)
+            if target is None:
+                continue
+            yield self.finding(
+                module, node,
+                "direct write to a shared path (index/manifest/claim "
+                "vocabulary); a crash mid-write leaves a torn file for "
+                "every other process — stage to a unique temp file and "
+                "publish with os.replace",
+            )
+
+    def _shared_write_target(self, module: ModuleInfo,
+                             node: ast.Call) -> Optional[ast.AST]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            if _is_shared_path(module, func.value):
+                return func.value
+            return None
+        # json.dump(obj, fh) where fh was opened "w" on a shared path
+        target = module.flow.call_target(node)
+        if target in ("json.dump", "pickle.dump") and len(node.args) >= 2:
+            opened = _opened_for_write(module, node.args[1])
+            if opened is not None and _is_shared_path(module, opened):
+                return opened
+        return None
+
+
+@register
+class ReplaceWithoutFsyncRule(Rule):
+    id = "FS002"
+    name = "replace-without-fsync"
+    rationale = (
+        "os.replace makes the *name* durable, not the data: without a "
+        "prior flush+fsync of the temp file a power cut can publish an "
+        "empty or torn file under the live name, which readers parse as "
+        "corruption rather than absence"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            replaces = []
+            fsync_lines = []
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = module.flow.call_target(node)
+                if target in ("os.replace", "os.rename"):
+                    replaces.append(node)
+                elif target == "os.fsync" or (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "fsync"):
+                    fsync_lines.append(node.lineno)
+            for rep in replaces:
+                if not any(line <= rep.lineno for line in fsync_lines):
+                    verb = module.flow.call_target(rep) or "os.replace"
+                    yield self.finding(
+                        module, rep,
+                        f"{verb}() without a prior os.fsync of the staged "
+                        "file in this function; the rename can become "
+                        "durable before the data — flush+fsync the temp "
+                        "file first",
+                    )
+
+
+def _string_constants(module: ModuleInfo, expr: ast.AST,
+                      _depth: int = 0) -> list[str]:
+    """String constants appearing in the construction of ``expr``
+    (including f-string literal parts), following one binding hop for
+    names — the *literal* half of temp-name analysis."""
+    if _depth > 4:
+        return []
+    out: list[str] = []
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.append(node.value)
+        elif isinstance(node, ast.Name):
+            binding = module.flow.binding_of(node.id, node)
+            if binding is not None and binding.value is not None:
+                out.extend(_string_constants(module, binding.value,
+                                             _depth + 1))
+    return out
+
+
+@register
+class PredictableTempNameRule(Rule):
+    id = "FS003"
+    name = "predictable-temp-name"
+    rationale = (
+        "a fixed temp name ('x.json.tmp') is shared by every concurrent "
+        "writer: one process's os.replace publishes another's half-"
+        "written bytes — derive temp names from mkstemp, os.getpid(), or "
+        "a uuid"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+                receiver = func.value
+            else:
+                receiver = _opened_for_write(module, node)
+            if receiver is None:
+                continue
+            constants = " ".join(_string_constants(module, receiver)).lower()
+            if "tmp" not in constants and "temp" not in constants:
+                continue
+            markers = _call_markers(module, receiver)
+            if markers & _UNIQUE_TOKENS:
+                continue
+            yield self.finding(
+                module, node,
+                "write to a temp path with a constant name and no "
+                "uniqueness component; concurrent writers collide — name "
+                "it with os.getpid()/uuid4 (or use mkstemp)",
+            )
+
+
+@register
+class ExistsThenWriteRule(Rule):
+    id = "FS004"
+    name = "exists-then-act-race"
+    rationale = (
+        "if exists() guards a write, two processes both see 'absent' and "
+        "both write; the check and the act are not atomic — write "
+        "unconditionally via the atomic publish idiom, or open with "
+        "O_EXCL and handle FileExistsError"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.If):
+                continue
+            tested = self._exists_receiver(node.test)
+            if tested is None or not _is_shared_path(module, tested):
+                continue
+            tested_dump = ast.dump(tested)
+            for body_node in node.body:
+                for call in ast.walk(body_node):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    func = call.func
+                    if (isinstance(func, ast.Attribute)
+                            and func.attr in _WRITE_METHODS
+                            and ast.dump(func.value) == tested_dump):
+                        yield self.finding(
+                            module, call,
+                            "write guarded by exists() on the same shared "
+                            "path; check-then-act is racy across "
+                            "processes — publish atomically (os.replace) "
+                            "or open with O_EXCL",
+                        )
+
+    @staticmethod
+    def _exists_receiver(test: ast.expr) -> Optional[ast.expr]:
+        """The X in ``if not X.exists():`` / ``if X.exists():``."""
+        node = test
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            node = node.operand
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "exists"):
+            return node.func.value
+        return None

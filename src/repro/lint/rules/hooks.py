@@ -52,63 +52,46 @@ class HookDef:
     max_args: Optional[int]  #: None when the hook takes *args
 
 
-def _observer_receiver(call: ast.Call, observer_aliases: set[str]) -> bool:
-    """Is this ``X.on_*()`` call dispatched through an observer slot?"""
+def _observer_receiver(call: ast.Call, module: ModuleInfo) -> bool:
+    """Is this ``X.on_*()`` call dispatched through an observer slot?
+
+    Flow-aware: a plain name receiver is resolved through the module's
+    binding tables, so ``obs = self.observer; obs.on_deliver(ev)``
+    dispatches regardless of which scope the alias lives in — and a name
+    bound to something else never does."""
     func = call.func
     if not isinstance(func, ast.Attribute):
         return False
     recv = func.value
     if isinstance(recv, ast.Attribute) and recv.attr == "observer":
         return True
-    if isinstance(recv, ast.Name) and recv.id in observer_aliases:
-        return True
+    if isinstance(recv, ast.Name):
+        binding = module.flow.binding_of(recv.id, call)
+        return (binding is not None
+                and isinstance(binding.value, ast.Attribute)
+                and binding.value.attr == "observer")
     return False
-
-
-def _collect_observer_aliases(fn: ast.AST) -> set[str]:
-    """Names assigned from an ``.observer`` attribute within ``fn``."""
-    aliases: set[str] = set()
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Assign):
-            value = node.value
-            if isinstance(value, ast.Attribute) and value.attr == "observer":
-                for tgt in node.targets:
-                    if isinstance(tgt, ast.Name):
-                        aliases.add(tgt.id)
-    return aliases
 
 
 def collect_dispatch_sites(module: ModuleInfo) -> list[DispatchSite]:
     sites: list[DispatchSite] = []
-    # observer aliases are resolved per enclosing function, so a stale
-    # name in another scope cannot turn unrelated calls into dispatches
-    funcs = [n for n in ast.walk(module.tree)
-             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
-    scopes: list[tuple[ast.AST, set[str]]] = [
-        (fn, _collect_observer_aliases(fn)) for fn in funcs
-    ]
-    scopes.append((module.tree, set()))
-    seen: set[int] = set()
-    for scope, aliases in scopes:
-        for node in ast.walk(scope):
-            if id(node) in seen or not isinstance(node, ast.Call):
-                continue
-            func = node.func
-            if (isinstance(func, ast.Attribute) and func.attr.startswith("on_")
-                    and _observer_receiver(node, aliases)):
-                seen.add(id(node))
-                nargs = (None if any(isinstance(a, ast.Starred) for a in node.args)
-                         else len(node.args) + len(node.keywords))
-                sites.append(DispatchSite(module.display_path, node.lineno,
-                                          func.attr, nargs))
-            elif (isinstance(func, ast.Name) and func.id == "getattr"
-                    and len(node.args) >= 2
-                    and isinstance(node.args[1], ast.Constant)
-                    and isinstance(node.args[1].value, str)
-                    and node.args[1].value.startswith("on_")):
-                seen.add(id(node))
-                sites.append(DispatchSite(module.display_path, node.lineno,
-                                          node.args[1].value, None))
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr.startswith("on_")
+                and _observer_receiver(node, module)):
+            nargs = (None if any(isinstance(a, ast.Starred) for a in node.args)
+                     else len(node.args) + len(node.keywords))
+            sites.append(DispatchSite(module.display_path, node.lineno,
+                                      func.attr, nargs))
+        elif (isinstance(func, ast.Name) and func.id == "getattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and node.args[1].value.startswith("on_")):
+            sites.append(DispatchSite(module.display_path, node.lineno,
+                                      node.args[1].value, None))
     return sites
 
 

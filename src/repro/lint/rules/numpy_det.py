@@ -1,0 +1,260 @@
+"""NumPy determinism rules (NUM).
+
+The vector backend's contract (``tests/test_backends.py``) is *byte*
+identity with the reference interpreter, which makes a class of NumPy
+habits that are merely sloppy elsewhere into correctness bugs here:
+
+- NUM001 — reducing an integer array whose dtype was never pinned.
+  ``np.array([1, 2, 3])`` takes the platform C ``long`` (64-bit on
+  Linux, 32-bit on Windows); a ``sum``/``prod`` over it wraps
+  differently per platform.  Pass ``dtype=np.int64`` at creation or
+  reduction.
+- NUM002 — a float-capable reduction over an *unordered* collection
+  (``sum(<set>)``, ``np.sum`` of a set-provenance operand).  Float
+  addition is not associative; iteration order of a set is not part of
+  the result's identity.  Sort first, or use ``math.fsum``.
+- NUM003 — reading an ``np.empty`` array before its first write in the
+  same function.  ``np.empty`` is uninitialized memory: the read is
+  nondeterministic per allocation, the classic heisenbug.
+- NUM004 — ``np.argsort`` without ``kind="stable"``: tied keys order by
+  introsort internals, which vary across NumPy versions and platforms;
+  replay identity needs stable ties.
+
+``DET001`` already covers unseeded ``default_rng``/global RNG draws, so
+this family deliberately does not duplicate it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ModuleInfo, Rule, register
+from repro.lint.rules.determinism import _is_set_expr
+
+#: reductions whose result dtype follows the operand's
+_INT_SENSITIVE_REDUCTIONS = {
+    "numpy.sum", "numpy.prod", "numpy.cumsum", "numpy.cumprod", "numpy.dot",
+}
+#: array constructors that take the platform default int for int input
+_DEFAULT_INT_CTORS = {"numpy.array", "numpy.asarray", "numpy.arange"}
+
+
+def _has_kwarg(call: ast.Call, name: str) -> bool:
+    return any(kw.arg == name for kw in call.keywords)
+
+
+def _int_literal_payload(node: ast.AST) -> bool:
+    """Does the constructor's data argument consist of int literals (the
+    case where numpy silently picks the platform C long)?"""
+    saw_int = False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant):
+            if isinstance(sub.value, bool):
+                return False
+            if isinstance(sub.value, float):
+                return False
+            if isinstance(sub.value, int):
+                saw_int = True
+    return saw_int
+
+
+@register
+class UnpinnedIntReductionRule(Rule):
+    id = "NUM001"
+    name = "platform-int-reduction"
+    rationale = (
+        "np.array of int literals takes the platform C long (64-bit "
+        "Linux, 32-bit Windows); reducing it gives platform-dependent "
+        "wrap behavior — pin dtype=np.int64 at creation or reduction"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.flow.call_target(node)
+            if target not in _INT_SENSITIVE_REDUCTIONS or not node.args:
+                continue
+            if _has_kwarg(node, "dtype"):
+                continue
+            ctor = self._unpinned_int_ctor(module, node.args[0])
+            if ctor is not None:
+                yield self.finding(
+                    module, node,
+                    f"{target}() over a {ctor}(...) of int literals "
+                    "without dtype=; the accumulator width is the "
+                    "platform C long — pass dtype=np.int64 to the "
+                    "constructor or the reduction",
+                )
+
+    @staticmethod
+    def _unpinned_int_ctor(module: ModuleInfo,
+                           operand: ast.AST) -> Optional[str]:
+        node: Optional[ast.AST] = operand
+        if isinstance(node, ast.Name):
+            binding = module.flow.binding_of(node.id, node)
+            node = binding.value if binding is not None else None
+        if not isinstance(node, ast.Call):
+            return None
+        target = module.flow.call_target(node)
+        if target not in _DEFAULT_INT_CTORS:
+            return None
+        if _has_kwarg(node, "dtype"):
+            return None
+        if target == "numpy.arange" or _int_literal_payload(node):
+            return target
+        return None
+
+
+@register
+class UnorderedFloatReductionRule(Rule):
+    id = "NUM002"
+    name = "unordered-float-reduction"
+    rationale = (
+        "float addition is not associative, and set iteration order is "
+        "not part of a result's identity; a reduction over an unordered "
+        "collection can differ between runs — reduce sorted(...) or use "
+        "math.fsum over a sorted sequence"
+    )
+
+    _REDUCERS = {"sum", "numpy.sum", "numpy.prod", "math.prod"}
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            target = module.flow.call_target(node)
+            if target not in self._REDUCERS:
+                continue
+            operand = node.args[0]
+            # dict.values() is deliberately NOT matched: dicts iterate in
+            # insertion order, which IS part of a run's identity here
+            if _is_set_expr(operand, module):
+                yield self.finding(
+                    module, node,
+                    f"{target}() over an unordered collection; float "
+                    "accumulation order is unspecified — reduce "
+                    "sorted(...) instead",
+                )
+
+
+@register
+class EmptyReadBeforeWriteRule(Rule):
+    id = "NUM003"
+    name = "np-empty-read-before-write"
+    rationale = (
+        "np.empty returns uninitialized memory; any read before the "
+        "array is written observes whatever the allocator left there — "
+        "nondeterministic per process and allocation"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_scope(module, fn)
+
+    def _check_scope(self, module: ModuleInfo,
+                     fn: ast.AST) -> Iterator[Finding]:
+        flow = module.flow
+        # names bound to np.empty(...) directly in this scope
+        empties: dict[str, int] = {}
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and flow.call_target(node.value) in
+                    ("numpy.empty", "numpy.empty_like")):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        empties.setdefault(tgt.id, node.lineno)
+        if not empties:
+            return
+        first_write: dict[str, int] = {}
+        reads: dict[str, list[ast.Name]] = {n: [] for n in empties}
+        for node in ast.walk(fn):
+            for name, write in self._classify_uses(node, empties):
+                if flow.scope_of(name) is not fn:
+                    continue
+                if write:
+                    line = first_write.get(name.id)
+                    if line is None or name.lineno < line:
+                        first_write[name.id] = name.lineno
+                else:
+                    reads[name.id].append(name)
+        for var, bound_line in empties.items():
+            write_line = first_write.get(var)
+            for name in reads[var]:
+                if name.lineno <= bound_line:
+                    continue  # the binding itself / earlier unrelated use
+                if write_line is None or name.lineno < write_line:
+                    yield self.finding(
+                        module, name,
+                        f"{var!r} (np.empty, line {bound_line}) is read "
+                        "before any element is written; np.empty memory "
+                        "is uninitialized — use np.zeros/np.full, or "
+                        "write the array first",
+                    )
+                    break  # one finding per array is enough
+
+    @staticmethod
+    def _classify_uses(node: ast.AST, names: dict[str, int]):
+        """Yield ``(Name, is_write)`` for uses of tracked names where the
+        use is a subscript store (``x[...] = v``), a ``.fill()`` call, or
+        any other (read) appearance."""
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if (isinstance(tgt, ast.Subscript)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id in names):
+                    yield tgt.value, True
+        elif isinstance(node, ast.AugAssign):
+            # x[i] += v reads the uninitialized cell
+            if (isinstance(node.target, ast.Subscript)
+                    and isinstance(node.target.value, ast.Name)
+                    and node.target.value.id in names):
+                yield node.target.value, False
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fill"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in names):
+            yield node.func.value, True
+        elif isinstance(node, ast.Name) and node.id in names and \
+                isinstance(node.ctx, ast.Load):
+            yield node, False
+
+
+@register
+class UnstableArgsortRule(Rule):
+    id = "NUM004"
+    name = "unstable-argsort-ties"
+    rationale = (
+        "np.argsort's default introsort orders tied keys by partition "
+        "internals that differ across NumPy versions and platforms; "
+        "byte-identical replay needs kind='stable'"
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.flow.call_target(node)
+            is_np_argsort = target in ("numpy.argsort", "numpy.lexsort")
+            is_method = (isinstance(node.func, ast.Attribute)
+                         and node.func.attr == "argsort")
+            if not (is_np_argsort or is_method):
+                continue
+            if target == "numpy.lexsort":
+                continue  # lexsort is stable by construction
+            kind = next((kw.value for kw in node.keywords
+                         if kw.arg == "kind"), None)
+            if (isinstance(kind, ast.Constant)
+                    and kind.value in ("stable", "mergesort")):
+                continue
+            yield self.finding(
+                module, node,
+                "argsort without kind='stable'; tied keys order by "
+                "introsort internals that vary across platforms — pass "
+                "kind='stable' for replay identity",
+            )

@@ -10,14 +10,26 @@ all), which makes them lint material.
 ``run_batch``'s ``progress=`` and ``cache=`` keywords are exempt from
 PICK001: both are documented parent-side-only (workers never receive
 them), so closures there are fine.
+
+Flow-aware since the project layer landed: the dispatch point is
+recognised through import aliases (``from repro.api import run_batch as
+rb``), a name argument bound to a lambda is resolved to it, and a
+module-level **wrapper** that forwards a parameter into ``run_batch`` or
+a pool method taints that parameter one call level up.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
-from repro.lint.core import Finding, ModuleInfo, Rule, register
+from repro.lint.core import (
+    Finding,
+    FunctionSymbol,
+    ModuleInfo,
+    Rule,
+    register,
+)
 
 #: pool fan-out methods whose first argument is shipped to workers
 _POOL_METHODS = {"imap", "imap_unordered", "map_async", "starmap",
@@ -62,6 +74,10 @@ class UnpicklableWorkerArgRule(Rule):
         "module-level callables and plain-data specs"
     )
 
+    def __init__(self) -> None:
+        #: canonical wrapper name -> params it forwards into a dispatch
+        self._forwarding: dict[str, set[str]] = {}
+
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         # map each call to its innermost enclosing function's local defs
         scopes: list[tuple[ast.AST, set[str]]] = []
@@ -83,45 +99,106 @@ class UnpicklableWorkerArgRule(Rule):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            worker_args = self._worker_bound_args(node)
+            worker_args = self._worker_bound_args(node, module)
+            via = None
+            if worker_args is None:
+                worker_args, via = self._wrapper_forwarded_args(module, node)
             if worker_args is None:
                 continue
             local_names = locals_for(node)
+            through = f" (through {via}())" if via else ""
             for arg in worker_args:
                 if isinstance(arg, ast.Lambda):
                     yield self.finding(
                         module, arg,
-                        "lambda flows into a worker-executed path; "
-                        "multiprocessing cannot pickle it — use a "
-                        "module-level function",
+                        "lambda flows into a worker-executed path"
+                        f"{through}; multiprocessing cannot pickle it — "
+                        "use a module-level function",
                     )
-                elif isinstance(arg, ast.Name) and arg.id in local_names:
-                    yield self.finding(
-                        module, arg,
-                        f"locally-defined {arg.id!r} flows into a "
-                        "worker-executed path; nested functions/classes do "
-                        "not pickle — define it at module level",
-                    )
+                elif isinstance(arg, ast.Name):
+                    if arg.id in local_names:
+                        yield self.finding(
+                            module, arg,
+                            f"locally-defined {arg.id!r} flows into a "
+                            f"worker-executed path{through}; nested "
+                            "functions/classes do not pickle — define it "
+                            "at module level",
+                        )
+                        continue
+                    origin = module.flow.origin(arg)
+                    if origin.node is not None and isinstance(
+                            origin.node, ast.Lambda):
+                        yield self.finding(
+                            module, arg,
+                            f"{arg.id!r} is bound to a lambda and flows "
+                            f"into a worker-executed path{through}; "
+                            "multiprocessing cannot pickle it — use a "
+                            "module-level function",
+                        )
 
     @staticmethod
-    def _worker_bound_args(node: ast.Call) -> "list[ast.expr] | None":
+    def _worker_bound_args(
+            node: ast.Call,
+            module: "ModuleInfo | None" = None) -> "list[ast.expr] | None":
         """The argument expressions of ``node`` that reach workers, or
         None when the call is not a worker dispatch point."""
         func = node.func
-        if isinstance(func, ast.Name) and func.id == "run_batch":
+        is_run_batch = (
+            (isinstance(func, ast.Name) and func.id == "run_batch")
+            or (isinstance(func, ast.Attribute) and func.attr == "run_batch"))
+        if not is_run_batch and module is not None:
+            # flow hop: ``from repro.api import run_batch as rb; rb(...)``
+            target = module.flow.call_target(node)
+            is_run_batch = target is not None and (
+                target == "run_batch" or target.endswith(".run_batch"))
+        if is_run_batch:
             return list(node.args) + [
                 kw.value for kw in node.keywords
                 if kw.arg not in _PARENT_SIDE_KWARGS
             ]
-        if isinstance(func, ast.Attribute):
-            if func.attr == "run_batch":
-                return list(node.args) + [
-                    kw.value for kw in node.keywords
-                    if kw.arg not in _PARENT_SIDE_KWARGS
-                ]
-            if _pool_receiver(func):
-                return list(node.args) + [kw.value for kw in node.keywords]
+        if isinstance(func, ast.Attribute) and _pool_receiver(func):
+            return list(node.args) + [kw.value for kw in node.keywords]
         return None
+
+    def _wrapper_forwarded_args(
+            self, module: ModuleInfo,
+            node: ast.Call) -> "tuple[list[ast.expr] | None, str | None]":
+        """Arguments of ``node`` that land on parameters its (project-
+        resolved) callee forwards into a worker dispatch point."""
+        sym = None if self.project is None else self.project.called_function(
+            module, node)
+        if sym is None:
+            return None, None
+        forwarded = self._forwarded_params(sym)
+        if not forwarded:
+            return None, None
+        params = sym.params
+        out: list[ast.expr] = []
+        for i, arg in enumerate(node.args):
+            if i < len(params) and params[i] in forwarded:
+                out.append(arg)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in forwarded:
+                out.append(kw.value)
+        return (out, sym.canonical) if out else (None, None)
+
+    def _forwarded_params(self, sym: FunctionSymbol) -> set[str]:
+        cached = self._forwarding.get(sym.canonical)
+        if cached is not None:
+            return cached
+        params = set(sym.params)
+        forwarded: set[str] = set()
+        for call in ast.walk(sym.node):
+            if not isinstance(call, ast.Call):
+                continue
+            wargs = self._worker_bound_args(call, sym.module)
+            if wargs is None:
+                continue
+            for a in wargs:
+                if isinstance(a, ast.Name) and a.id in params:
+                    forwarded.add(a.id)
+        self._forwarding[sym.canonical] = forwarded
+        return forwarded
 
 
 @register

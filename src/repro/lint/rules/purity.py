@@ -11,19 +11,86 @@ The rule flags assignments (plain, augmented, deletions) inside ``on_*``
 observer methods whose target is rooted at a *hook parameter* or a local
 alias of one.  Writes to ``self`` (the observer's own shadow state) and to
 genuinely local values are the normal checker pattern and stay legal.
+
+With the project layer the rule also sees **through one level of helper
+calls**: a hook that passes an observed component to a module-level
+function which writes through the corresponding parameter is flagged at
+the call site (``self._scrub(entry)`` stays out of reach — ``self`` is
+opaque — but ``scrub(entry)`` and ``helpers.scrub(entry)`` resolve).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
-from repro.lint.core import Finding, ModuleInfo, Rule, register, root_name
+from repro.lint.core import (
+    Finding,
+    FunctionSymbol,
+    ModuleInfo,
+    Rule,
+    register,
+    root_name,
+)
 from repro.lint.rules.hooks import _self_invoked_hooks
 
 
-def _expr_root(node: ast.AST) -> "str | None":
-    return root_name(node)
+def function_params(fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+                    skip_self: bool = True) -> list[str]:
+    a = fn.args
+    params = [p.arg for p in (a.posonlyargs + a.args + a.kwonlyargs)]
+    if a.vararg:
+        params.append(a.vararg.arg)
+    if a.kwarg:
+        params.append(a.kwarg.arg)
+    if skip_self and params and params[0] == "self":
+        params = params[1:]
+    return params
+
+
+def _alias_owners(fn: ast.AST, seeds: "dict[str, str]") -> dict[str, str]:
+    """Propagate taint through simple local aliases: ``stack = warp.stack``
+    makes a write to ``stack[...]`` a write through ``warp``.  Maps each
+    tainted local name to the seed (parameter) that owns it."""
+    owners = dict(seeds)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(
+                node.value, (ast.Name, ast.Attribute)):
+            root = root_name(node.value)
+            if root in owners:
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        owners[tgt.id] = owners[root]
+    return owners
+
+
+def _write_targets(fn: ast.AST) -> Iterator[ast.expr]:
+    """Attribute/subscript targets of assignments, augmented assignments,
+    and deletions inside ``fn``."""
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for tgt in targets:
+            if isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                yield tgt
+
+
+def params_written_through(
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+    """The parameters ``fn`` mutates: targets of attribute/subscript
+    writes rooted at a parameter or a local alias of one."""
+    owners = _alias_owners(fn, {p: p for p in function_params(fn)})
+    written: set[str] = set()
+    for tgt in _write_targets(fn):
+        root = root_name(tgt)
+        if root in owners:
+            written.add(owners[root])
+    return written
 
 
 @register
@@ -35,6 +102,10 @@ class HookMutationRule(Rule):
         "component's state makes sanitized/traced runs diverge from bare "
         "runs, silently invalidating every bit-identity guarantee"
     )
+
+    def __init__(self) -> None:
+        #: canonical helper name -> params it writes through (memoized)
+        self._helper_writes: dict[str, set[str]] = {}
 
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         for cls in ast.walk(module.tree):
@@ -49,44 +120,61 @@ class HookMutationRule(Rule):
 
     def _check_hook(self, module: ModuleInfo, cls_name: str,
                     fn: ast.FunctionDef) -> Iterator[Finding]:
-        a = fn.args
-        params = [p.arg for p in (a.posonlyargs + a.args + a.kwonlyargs)]
-        if a.vararg:
-            params.append(a.vararg.arg)
-        if a.kwarg:
-            params.append(a.kwarg.arg)
-        tainted = {p for p in params if p != "self"}
-        if not tainted:
+        params = function_params(fn)
+        if not params:
             return
+        owners = _alias_owners(fn, {p: p for p in params})
 
-        for node in ast.walk(fn):
-            # propagate taint through simple local aliases:
-            #   stack = warp.stack      -> writing stack[...] mutates warp
-            if isinstance(node, ast.Assign) and isinstance(node.value,
-                                                           (ast.Name, ast.Attribute)):
-                root = _expr_root(node.value)
-                if root in tainted:
-                    for tgt in node.targets:
-                        if isinstance(tgt, ast.Name):
-                            tainted.add(tgt.id)
+        for tgt in _write_targets(fn):
+            root = root_name(tgt)
+            if root in owners:
+                yield self.finding(
+                    module, tgt,
+                    f"{cls_name}.{fn.name} writes through hook "
+                    f"parameter {owners[root]!r}; observer hooks are "
+                    "read-only (mutating observed state breaks the "
+                    "bit-identity contract) — keep shadow state on self "
+                    "instead",
+                )
 
-        for node in ast.walk(fn):
-            targets: list[ast.expr] = []
-            if isinstance(node, ast.Assign):
-                targets = node.targets
-            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-                targets = [node.target]
-            elif isinstance(node, ast.Delete):
-                targets = node.targets
-            for tgt in targets:
-                if not isinstance(tgt, (ast.Attribute, ast.Subscript)):
-                    continue
-                root = _expr_root(tgt)
-                if root in tainted:
+        # one level deeper: a tainted value handed to a project-defined
+        # helper that writes through the corresponding parameter
+        for call in ast.walk(fn):
+            if not isinstance(call, ast.Call):
+                continue
+            for arg_node, helper_param, sym in self._forwarded_args(
+                    module, call):
+                root = root_name(arg_node)
+                if root in owners:
                     yield self.finding(
-                        module, tgt,
-                        f"{cls_name}.{fn.name} writes through hook "
-                        f"parameter {root!r}; observer hooks are read-only "
-                        "(mutating observed state breaks the bit-identity "
-                        "contract) — keep shadow state on self instead",
+                        module, call,
+                        f"{cls_name}.{fn.name} passes hook parameter "
+                        f"{owners[root]!r} to {sym.canonical}(), which "
+                        f"writes through its {helper_param!r} parameter; "
+                        "observer hooks are read-only even via helpers",
                     )
+
+    def _forwarded_args(self, module: ModuleInfo, call: ast.Call):
+        """(arg expression, helper param, symbol) triples for arguments of
+        ``call`` that land on a parameter the callee writes through."""
+        sym = None if self.project is None else self.project.called_function(
+            module, call)
+        if sym is None:
+            return
+        writes = self._writes_of(sym)
+        if not writes:
+            return
+        params = function_params(sym.node, skip_self=False)
+        for i, arg in enumerate(call.args):
+            if i < len(params) and params[i] in writes:
+                yield arg, params[i], sym
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in writes:
+                yield kw.value, kw.arg, sym
+
+    def _writes_of(self, sym: FunctionSymbol) -> set[str]:
+        cached = self._helper_writes.get(sym.canonical)
+        if cached is None:
+            cached = params_written_through(sym.node)
+            self._helper_writes[sym.canonical] = cached
+        return cached

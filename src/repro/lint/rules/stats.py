@@ -10,7 +10,8 @@ the determinism regression diffs.
 A stats call site is a ``.inc(...)`` / ``.set(...)`` method call whose
 receiver name ends in ``stats`` (``self.stats``, ``mc.stats``,
 ``self._stats``) — the naming convention every component in this codebase
-follows.
+follows — or a local name the flow layer resolves to such an attribute
+(``st = self.stats; st.inc(...)``).
 """
 
 from __future__ import annotations
@@ -31,15 +32,29 @@ class StatsWrite:
     key: Optional[str]  #: literal counter key, None when dynamic
 
 
-def _is_stats_receiver(func: ast.Attribute) -> bool:
+def _stats_named(name: str) -> bool:
+    return name.lower().lstrip("_").endswith("stats")
+
+
+def _is_stats_receiver(func: ast.Attribute,
+                       module: "ModuleInfo | None" = None) -> bool:
     recv = func.value
     if isinstance(recv, ast.Name):
-        name = recv.id
-    elif isinstance(recv, ast.Attribute):
-        name = recv.attr
-    else:
+        if _stats_named(recv.id):
+            return True
+        if module is not None:
+            # flow hop: ``st = self.stats; st.inc(...)``
+            binding = module.flow.binding_of(recv.id, func)
+            if (binding is not None
+                    and isinstance(binding.value, (ast.Attribute, ast.Name))):
+                tail = (binding.value.attr
+                        if isinstance(binding.value, ast.Attribute)
+                        else binding.value.id)
+                return _stats_named(tail)
         return False
-    return name.lower().lstrip("_").endswith("stats")
+    if isinstance(recv, ast.Attribute):
+        return _stats_named(recv.attr)
+    return False
 
 
 def collect_stats_writes(module: ModuleInfo) -> list[StatsWrite]:
@@ -48,7 +63,7 @@ def collect_stats_writes(module: ModuleInfo) -> list[StatsWrite]:
         if not (isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr in ("inc", "set")
-                and _is_stats_receiver(node.func)
+                and _is_stats_receiver(node.func, module)
                 and node.args):
             continue
         key_node = node.args[0]

@@ -136,9 +136,16 @@ def plan_fingerprint(fingerprints: Sequence[str]) -> str:
     return hashlib.sha256(blob).hexdigest()[:12]
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
+def atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` crash-safely: write a uniquely-named
+    temp file in full, flush+fsync it, then ``os.replace`` it over the
+    live name.  The sanctioned implementation of the shared-path write
+    discipline the FS lint rules enforce (``docs/linting.md``)."""
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}")
-    tmp.write_text(text)
+    with tmp.open("w") as f:
+        f.write(text)
+        f.flush()
+        os.fsync(f.fileno())
     os.replace(tmp, path)
 
 
@@ -392,7 +399,7 @@ class FingerprintStore:
             "expires_unix": now + float(lease_s),
         }
         try:
-            _atomic_write_text(self.claim_path(fingerprint),
+            atomic_write_text(self.claim_path(fingerprint),
                                json.dumps(claim, indent=1, sort_keys=True))
         except OSError:
             return False
@@ -437,7 +444,7 @@ class FingerprintStore:
             },
         }
         path = self.root / _INDEX_NAME
-        _atomic_write_text(path, json.dumps(snap, indent=1, sort_keys=True))
+        atomic_write_text(path, json.dumps(snap, indent=1, sort_keys=True))
         return path
 
     def rebuild_index(self) -> Path:
@@ -620,7 +627,7 @@ class FingerprintStore:
             "saved_iso": stamp.isoformat(timespec="seconds"),
         }
         path = self.manifest_path(name)
-        _atomic_write_text(path, json.dumps(manifest, indent=1, sort_keys=True))
+        atomic_write_text(path, json.dumps(manifest, indent=1, sort_keys=True))
         return path
 
     def read_manifest(self, name: str) -> Optional[dict]:

@@ -101,6 +101,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--json")
     if args.show_suppressed:
         argv.append("--show-suppressed")
+    if args.baseline is not None:
+        argv.extend(["--baseline", str(args.baseline)])
+    if args.update_baseline:
+        argv.append("--update-baseline")
     return lint_main(argv)
 
 
@@ -222,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit findings as JSON")
     lt.add_argument("--show-suppressed", action="store_true",
                     help="also print inline-suppressed findings")
+    lt.add_argument("--baseline", default=None,
+                    help="JSON baseline: fail only on findings not in it")
+    lt.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline with current findings")
     lt.set_defaults(fn=cmd_lint)
     return p
 

@@ -236,10 +236,15 @@ class TraceWriter:
         })
 
     def finish(self) -> Path:
-        """Write the campaign index + cross-run profile aggregation."""
+        """Write the campaign index + cross-run profile aggregation.
+
+        Published atomically: a campaign watcher (or a crash mid-write)
+        must never observe a torn ``index.json``."""
+        from repro.sim.store import atomic_write_text
+
         self.out_dir.mkdir(parents=True, exist_ok=True)
         path = self.out_dir / "index.json"
-        path.write_text(json.dumps(
+        atomic_write_text(path, json.dumps(
             {"runs": self.index, "host_profile_totals": self.profile_totals},
             indent=2))
         return path

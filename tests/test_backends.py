@@ -87,13 +87,15 @@ class TestExecOptions:
 
 class TestRunSpecOptions:
     def test_flat_flags_build_options(self):
-        s = RunSpec("millipede", "count", sanitize=True, backend="vector")
+        # the flat-flag shim is this class's subject; see docs/linting.md
+        s = RunSpec("millipede", "count",  # repro-lint: disable=API001
+                    sanitize=True, backend="vector")
         assert s.options == ExecOptions(sanitize=True, backend="vector")
         assert s.sanitize and s.backend == "vector"  # delegating properties
 
     def test_mixing_options_and_flags_rejected(self):
         with pytest.raises(TypeError):
-            RunSpec("millipede", "count",
+            RunSpec("millipede", "count",  # repro-lint: disable=API001
                     options=ExecOptions(), sanitize=True)
 
     def test_replace_routes_option_flags(self):
@@ -111,7 +113,8 @@ class TestRunSpecOptions:
 
     def test_from_dict_round_trip(self):
         for s in (RunSpec("ssmc", "kmeans", n_records=512),
-                  RunSpec("millipede", "pca", backend="vector", seed=7)):
+                  RunSpec("millipede", "pca",  # repro-lint: disable=API001
+                          backend="vector", seed=7)):
             assert RunSpec.from_dict(s.to_dict()) == s
 
     def test_content_hash_pinned(self):
@@ -125,7 +128,8 @@ class TestRunSpecOptions:
         # different backend => different cache entry (results are
         # identical, but the cache must not conflate what was run)
         ref = RunSpec("millipede", "count")
-        vec = RunSpec("millipede", "count", backend="vector")
+        vec = RunSpec("millipede", "count",  # repro-lint: disable=API001
+                      backend="vector")
         assert ref.content_hash() != vec.content_hash()
 
 

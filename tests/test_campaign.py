@@ -9,6 +9,7 @@ from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.sim.cache import ResultCache
 from repro.sim.campaign import BatchProgress, cross, run_batch
 from repro.sim.driver import RunResult, run
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 
 N = 512  #: small enough to keep the multiprocess tests quick
@@ -34,7 +35,8 @@ class TestRunSpec:
     def test_roundtrip(self):
         spec = RunSpec("millipede-rm", "kmeans",
                        config=DEFAULT_CONFIG.with_dram(t_cas=10),
-                       n_records=N, seed=3, validate=False)
+                       n_records=N, seed=3,
+                       options=ExecOptions(validate=False))
         back = RunSpec.from_dict(spec.to_dict())
         assert back == spec
         assert back.content_hash() == spec.content_hash()

@@ -83,7 +83,9 @@ class TestClaims:
     def test_garbage_claim_file_treated_as_unclaimed(self, tmp_path):
         store = FingerprintStore(tmp_path)
         fp = "g" * 64
-        store.claim_path(fp).write_text("not json{{{")
+        # forging a corrupt claim on purpose; see docs/linting.md
+        store.claim_path(fp).write_text(  # repro-lint: disable=FS001
+            "not json{{{")
         assert store.claim_holder(fp) is None
         assert store.try_claim(fp)
 
@@ -94,11 +96,14 @@ class TestClaims:
         assert store.try_claim("a" * 64, lease_s=0.01)  # will expire
         assert store.try_claim("b" * 64, lease_s=60.0)  # stays live
         # a claim whose record has since landed is satisfied -> stale
-        store.claim_path(spec.content_hash()).write_text(json.dumps({
-            "schema": 1, "fingerprint": spec.content_hash(),
-            "writer": "w0-other", "claimed_unix": 0.0,
-            "expires_unix": time.time() + 60.0,
-        }))
+        # (forged foreign claim; lease expiry is wall-clock by protocol —
+        # see docs/linting.md)
+        store.claim_path(spec.content_hash()).write_text(  # repro-lint: disable=FS001
+            json.dumps({
+                "schema": 1, "fingerprint": spec.content_hash(),
+                "writer": "w0-other", "claimed_unix": 0.0,
+                "expires_unix": time.time() + 60.0,  # repro-lint: disable=DET002
+            }))
         time.sleep(0.05)
         assert store.clear_stale_claims() == 2
         assert store.claim_holder("b" * 64) == store.writer_id
@@ -154,10 +159,12 @@ class TestStealingShards:
         the stealing shard re-claims and simulates the fingerprint."""
         store = FingerprintStore(tmp_path)
         fp = SPECS[0].content_hash()
-        store.claim_path(fp).write_text(json.dumps({
-            "schema": 1, "fingerprint": fp, "writer": "w1-deadbeef",
-            "claimed_unix": 0.0, "expires_unix": 1.0,
-        }))
+        # forging a dead writer's claim on purpose; see docs/linting.md
+        store.claim_path(fp).write_text(  # repro-lint: disable=FS001,IPC003
+            json.dumps({
+                "schema": 1, "fingerprint": fp, "writer": "w1-deadbeef",
+                "claimed_unix": 0.0, "expires_unix": 1.0,
+            }))
         report = run_campaign(SPECS, store, steal=True)
         assert report.misses == len(SPECS)
         assert report.missing(SPECS) == []

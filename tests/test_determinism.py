@@ -6,6 +6,7 @@ from __future__ import annotations
 
 from repro.engine.stats import Stats
 from repro.sim.campaign import run_batch
+from repro.sim.options import ExecOptions
 from repro.sim.spec import RunSpec
 
 N = 512
@@ -15,7 +16,8 @@ SPECS = [
     RunSpec("ssmc", "variance", n_records=N),
     RunSpec("millipede", "count", n_records=N),
     # a sanitized spec rides through worker-process pickling too
-    RunSpec("millipede", "count", n_records=N, sanitize=True),
+    RunSpec("millipede", "count", n_records=N,
+            options=ExecOptions(sanitize=True)),
 ]
 
 

@@ -1,9 +1,11 @@
 """repro.lint: every rule fires on a minimal bad fixture, stays silent on
-the matching good fixture, suppressions work, and the self-run on the
-repro package itself is clean."""
+the matching good fixture, the project layer resolves aliases and one-hop
+helper calls, suppressions and baselines work, and the self-run on the
+whole project tree is clean."""
 
 from __future__ import annotations
 
+import ast
 import json
 from pathlib import Path
 
@@ -12,7 +14,10 @@ import pytest
 import repro
 from repro.lint import all_rule_classes, lint_paths
 from repro.lint.cli import main as lint_main
+from repro.lint.core import ModuleInfo, Project
 from repro.tools.cli import main as tools_main
+
+_REPO = Path(__file__).resolve().parent.parent
 
 
 def lint_source(tmp_path: Path, *sources: str, select=None):
@@ -113,6 +118,45 @@ def test_det003_set_iteration_fires(tmp_path):
         "pairs = [v for v in frozenset((1, 2))]\n"
     ))
     assert rule_ids(report).count("DET003") == 3
+
+
+def test_det002_value_aliased_clock_fires(tmp_path):
+    # regression: ``clock = time.time; clock()`` used to be invisible
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "clock = time.time\n"
+        "t = clock()\n"
+    ))
+    assert rule_ids(report) == ["DET002"]
+
+
+def test_det001_value_aliased_factory_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "factory = np.random.default_rng\n"
+        "rng = factory()\n"
+    ))
+    assert rule_ids(report) == ["DET001"]
+
+
+def test_det002_value_aliased_monotonic_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "clock = time.perf_counter\n"
+        "t0 = clock()\n"
+    ))
+    assert "DET002" not in rule_ids(report)
+
+
+def test_det_alias_shadowed_by_parameter_silent(tmp_path):
+    # a parameter named like the alias has caller-side provenance
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "clock = time.time\n"
+        "def elapsed(clock):\n"
+        "    return clock()\n"
+    ))
+    assert "DET002" not in rule_ids(report)
 
 
 def test_det003_sorted_iteration_silent(tmp_path):
@@ -401,6 +445,446 @@ def test_api001_options_construction_silent(tmp_path):
     assert "API001" not in rule_ids(report)
 
 
+def test_api001_resolves_aliased_runspec(tmp_path):
+    report = lint_source(tmp_path, (
+        "from repro.sim.spec import RunSpec as RS\n"
+        "a = RS('millipede', 'count', sanitize=True)\n"
+    ))
+    assert rule_ids(report) == ["API001"]
+
+
+# ----------------------------------------------------------------------
+# project layer: ModuleFlow provenance + cross-module resolution
+# ----------------------------------------------------------------------
+def _module(tmp_path: Path, source: str, name: str = "mod_a.py") -> ModuleInfo:
+    p = tmp_path / name
+    p.write_text(source)
+    return ModuleInfo(p, str(p), source)
+
+
+def test_flow_call_target_through_value_alias(tmp_path):
+    m = _module(tmp_path, (
+        "import time\n"
+        "clock = time.time\n"
+        "t = clock()\n"
+    ))
+    call = next(n for n in ast.walk(m.tree) if isinstance(n, ast.Call))
+    assert m.flow.call_target(call) == "time.time"
+
+
+def test_flow_parameter_shadows_module_alias(tmp_path):
+    m = _module(tmp_path, (
+        "import time\n"
+        "clock = time.time\n"
+        "def f(clock):\n"
+        "    return clock()\n"
+    ))
+    call = next(n for n in ast.walk(m.tree) if isinstance(n, ast.Call))
+    assert m.flow.call_target(call) is None
+
+
+def test_flow_origin_kinds(tmp_path):
+    m = _module(tmp_path, (
+        "from repro.sim.store import FingerprintStore\n"
+        "store = FingerprintStore('runs')\n"
+        "copy = store\n"
+        "out = copy\n"
+        "n = 3\n"
+    ))
+    names = {n.id: n for n in ast.walk(m.tree)
+             if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)}
+    origin = m.flow.origin(names["copy"])
+    assert origin.kind == "call"
+    assert origin.path == "repro.sim.store.FingerprintStore"
+    assert origin.is_call_to("repro.sim.store.FingerprintStore")
+    # rebuild a Load use of ``n`` via the binding table instead
+    binding = m.flow.binding_of("n", m.tree.body[-1])
+    assert m.flow.origin(binding.value).kind == "const"
+
+
+def test_project_resolves_calls_across_modules(tmp_path):
+    helper = _module(tmp_path, (
+        "def scrub(entry):\n"
+        "    entry.filled = False\n"
+    ), name="helpers_mod.py")
+    user = _module(tmp_path, (
+        "from helpers_mod import scrub as clean\n"
+        "def go(entry):\n"
+        "    clean(entry)\n"
+    ), name="user_mod.py")
+    project = Project([helper, user])
+    assert "helpers_mod.scrub" in project.functions
+    call = next(n for n in ast.walk(user.tree) if isinstance(n, ast.Call))
+    sym = project.called_function(user, call)
+    assert sym is not None and sym.canonical == "helpers_mod.scrub"
+    assert sym.params == ["entry"]
+
+
+def test_pure001_sees_through_module_level_helper(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "def scrub(entry):\n"
+        "    entry.filled = False\n"
+        "class Watcher:\n"
+        "    def on_fill(self, entry):\n"
+        "        scrub(entry)\n"
+    ))
+    findings = [f for f in report.unsuppressed if f.rule == "PURE001"]
+    assert len(findings) == 1
+    assert "scrub" in findings[0].message
+
+
+def test_pure001_sees_through_cross_module_helper(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "def scrub(entry):\n"
+        "    entry.filled = False\n"
+    ), (
+        "from fixture_1 import scrub\n"
+        "class Watcher:\n"
+        "    def on_fill(self, entry):\n"
+        "        scrub(entry)\n"
+    ))
+    assert rule_ids(report).count("PURE001") == 1
+
+
+def test_pure001_read_only_helper_silent(tmp_path):
+    report = lint_source(tmp_path, _DISPATCH, (
+        "def peek(entry):\n"
+        "    return entry.row\n"
+        "class Watcher:\n"
+        "    def on_fill(self, entry):\n"
+        "        peek(entry)\n"
+    ))
+    assert "PURE001" not in rule_ids(report)
+
+
+def test_pick001_sees_through_wrapper_forwarding(tmp_path):
+    report = lint_source(tmp_path, (
+        "from repro.sim.campaign import run_batch\n"
+        "def sweep(specs, key=None):\n"
+        "    return run_batch(specs, key=key)\n"
+        "def main(specs):\n"
+        "    return sweep(specs, key=lambda s: s.arch)\n"
+    ))
+    findings = [f for f in report.unsuppressed if f.rule == "PICK001"]
+    assert len(findings) == 1
+    assert "through" in findings[0].message
+
+
+def test_pick001_wrapper_parent_side_kwarg_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "from repro.sim.campaign import run_batch\n"
+        "def sweep(specs, progress=None):\n"
+        "    return run_batch(specs, progress=progress)\n"
+        "def main(specs):\n"
+        "    return sweep(specs, progress=lambda ev: None)\n"
+    ))
+    assert "PICK001" not in rule_ids(report)
+
+
+def test_pick001_aliased_run_batch_import(tmp_path):
+    report = lint_source(tmp_path, (
+        "from repro.sim.campaign import run_batch as rb\n"
+        "def sweep(specs):\n"
+        "    return rb(specs, key=lambda s: s.arch)\n"
+    ))
+    assert "PICK001" in rule_ids(report)
+
+
+def test_stat002_resolves_stats_alias(tmp_path):
+    report = lint_source(tmp_path, (
+        "class A:\n"
+        "    def f(self, name):\n"
+        "        st = self.stats\n"
+        "        st.inc(f'dram.{name}')\n"
+    ))
+    assert rule_ids(report) == ["STAT002"]
+
+
+# ----------------------------------------------------------------------
+# FS: filesystem crash-safety
+# ----------------------------------------------------------------------
+def test_fs001_direct_shared_write_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import json\n"
+        "def publish(index_path, payload):\n"
+        "    index_path.write_text(json.dumps(payload))\n"
+    ))
+    assert rule_ids(report) == ["FS001"]
+
+
+def test_fs001_json_dump_into_shared_handle_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import json\n"
+        "def publish(manifest_path, payload):\n"
+        "    with manifest_path.open('w') as fh:\n"
+        "        json.dump(payload, fh)\n"
+    ))
+    assert rule_ids(report) == ["FS001"]
+
+
+def test_fs_rules_silent_on_atomic_publish_idiom(tmp_path):
+    # the sanctioned discipline: unique temp, flush+fsync, os.replace
+    report = lint_source(tmp_path, (
+        "import os\n"
+        "import uuid\n"
+        "def publish(index_path, text):\n"
+        "    tmp = index_path.with_name(\n"
+        "        f'{index_path.name}.tmp-{uuid.uuid4().hex}')\n"
+        "    with tmp.open('w') as fh:\n"
+        "        fh.write(text)\n"
+        "        fh.flush()\n"
+        "        os.fsync(fh.fileno())\n"
+        "    os.replace(tmp, index_path)\n"
+    ))
+    assert not [r for r in rule_ids(report) if r.startswith("FS")]
+
+
+def test_fs001_private_path_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "def save(report_path, text):\n"
+        "    report_path.write_text(text)\n"
+    ))
+    assert "FS001" not in rule_ids(report)
+
+
+def test_fs002_replace_without_fsync_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import os\n"
+        "def publish(tmp, live_path, text):\n"
+        "    tmp.write_text(text)\n"
+        "    os.replace(tmp, live_path)\n"
+    ))
+    assert rule_ids(report) == ["FS002"]
+
+
+def test_fs003_constant_temp_name_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "def stage(store_dir, text):\n"
+        "    staged = store_dir / 'index.json.tmp'\n"
+        "    staged.write_text(text)\n"
+    ), select=["FS003"])
+    assert rule_ids(report) == ["FS003"]
+
+
+def test_fs003_unique_temp_name_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "import os\n"
+        "def stage(store_dir, text):\n"
+        "    staged = store_dir / f'index.json.tmp-{os.getpid()}'\n"
+        "    staged.write_text(text)\n"
+    ), select=["FS003"])
+    assert rule_ids(report) == []
+
+
+def test_fs004_exists_then_write_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "def ensure(manifest_path, text):\n"
+        "    if not manifest_path.exists():\n"
+        "        manifest_path.write_text(text)\n"
+    ), select=["FS004"])
+    assert rule_ids(report) == ["FS004"]
+
+
+def test_fs004_private_path_and_other_target_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "def ensure(cache_path, text):\n"
+        "    if not cache_path.exists():\n"
+        "        cache_path.write_text(text)\n"
+    ), (
+        "def rotate(manifest_path, backup_path, text):\n"
+        "    if manifest_path.exists():\n"
+        "        backup_path.write_text(text)\n"  # different path: no race
+    ), select=["FS004"])
+    assert rule_ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# IPC: cross-process discipline
+# ----------------------------------------------------------------------
+def test_ipc001_store_into_worker_args_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "from repro.sim.campaign import run_batch\n"
+        "from repro.sim.store import FingerprintStore\n"
+        "def sweep(specs, root):\n"
+        "    store = FingerprintStore(root)\n"
+        "    return run_batch(specs, workers=2, store=store)\n"
+    ))
+    findings = [f for f in report.unsuppressed if f.rule == "IPC001"]
+    assert len(findings) == 1
+    assert "FingerprintStore" in findings[0].message
+
+
+def test_ipc001_open_handle_into_pool_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "def fanout(pool, path):\n"
+        "    fh = open(path, 'w')\n"
+        "    return pool.apply_async(process, (fh,))\n"
+    ))
+    assert "IPC001" in rule_ids(report)
+
+
+def test_ipc001_parent_side_cache_kwarg_silent(tmp_path):
+    # cache= is documented parent-side-only: the store stays home
+    report = lint_source(tmp_path, (
+        "from repro.sim.campaign import run_batch\n"
+        "from repro.sim.store import FingerprintStore\n"
+        "def sweep(specs, root):\n"
+        "    store = FingerprintStore(root)\n"
+        "    return run_batch(specs, workers=2, cache=store)\n"
+    ))
+    assert "IPC001" not in rule_ids(report)
+
+
+def test_ipc002_monotonic_in_lease_function_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "def claim_expiry(secs):\n"
+        "    return time.monotonic() + secs\n"
+    ))
+    assert rule_ids(report) == ["IPC002"]
+
+
+def test_ipc002_monotonic_into_lease_statement_fires(tmp_path):
+    # lease vocabulary on the assignment target, not the function name
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "def renew(secs):\n"
+        "    expires = time.monotonic() + secs\n"
+        "    return expires\n"
+    ))
+    assert rule_ids(report) == ["IPC002"]
+
+
+def test_ipc002_polling_deadline_silent(tmp_path):
+    # the correct single-process timeout idiom must not be flagged
+    report = lint_source(tmp_path, (
+        "import time\n"
+        "def wait_for(path):\n"
+        "    deadline = time.monotonic() + 5.0\n"
+        "    while time.monotonic() < deadline:\n"
+        "        if path.exists():\n"
+        "            return True\n"
+        "    return False\n"
+    ))
+    assert "IPC002" not in rule_ids(report)
+
+
+def test_ipc003_claim_publish_without_readback_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "def try_claim(claim_path, payload):\n"
+        "    claim_path.write_text(payload)\n"
+        "    return True\n"
+    ), select=["IPC003"])
+    assert rule_ids(report) == ["IPC003"]
+
+
+def test_ipc003_publish_then_readback_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "def try_claim(claim_path, payload, me):\n"
+        "    claim_path.write_text(payload)\n"
+        "    return read_claim(claim_path) == me\n"
+        "def read_claim(claim_path):\n"
+        "    return claim_path.read_text()\n"
+    ), select=["IPC003"])
+    assert rule_ids(report) == []
+
+
+# ----------------------------------------------------------------------
+# NUM: NumPy determinism
+# ----------------------------------------------------------------------
+def test_num001_unpinned_int_reduction_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "data = np.array([1, 2, 3])\n"
+        "total = np.sum(data)\n"
+        "big = np.sum(np.arange(10))\n"
+    ))
+    assert rule_ids(report).count("NUM001") == 2
+
+
+def test_num001_pinned_or_float_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "data = np.array([1, 2, 3], dtype=np.int64)\n"
+        "total = np.sum(data)\n"
+        "floats = np.array([1.0, 2.0])\n"
+        "t2 = np.sum(floats)\n"
+        "t3 = np.sum(np.arange(10), dtype=np.int64)\n"
+    ))
+    assert "NUM001" not in rule_ids(report)
+
+
+def test_num002_sum_over_set_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "vals = {0.5, 1.5}\n"
+        "total = sum(vals)\n"
+        "t2 = sum({1.0, 2.0})\n"
+    ))
+    assert rule_ids(report).count("NUM002") == 2
+
+
+def test_num002_ordered_operands_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "vals = {0.5, 1.5}\n"
+        "total = sum(sorted(vals))\n"
+        "t2 = sum([1.0, 2.0])\n"
+        "d = {'a': 1.0, 'b': 2.0}\n"
+        "t3 = sum(d.values())\n"  # dicts iterate in insertion order
+    ))
+    assert "NUM002" not in rule_ids(report)
+
+
+def test_num003_empty_read_before_write_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "def f(n):\n"
+        "    acc = np.empty(n)\n"
+        "    s = float(acc[0])\n"
+        "    acc[0] = 1.0\n"
+        "    return s\n"
+    ))
+    assert rule_ids(report) == ["NUM003"]
+
+
+def test_num003_write_before_read_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "def g(n):\n"
+        "    acc = np.empty(n)\n"
+        "    acc.fill(0.0)\n"
+        "    return acc[0]\n"
+        "def h(n):\n"
+        "    out = np.empty(n)\n"
+        "    for i in range(n):\n"
+        "        out[i] = i\n"
+        "    return out.sum()\n"
+    ))
+    assert "NUM003" not in rule_ids(report)
+
+
+def test_num004_default_argsort_fires(tmp_path):
+    report = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "def rank(keys):\n"
+        "    a = np.argsort(keys)\n"
+        "    b = keys.argsort()\n"
+        "    return a, b\n"
+    ))
+    assert rule_ids(report).count("NUM004") == 2
+
+
+def test_num004_stable_kinds_and_lexsort_silent(tmp_path):
+    report = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "def rank(keys, a, b):\n"
+        "    x = np.argsort(keys, kind='stable')\n"
+        "    y = keys.argsort(kind='mergesort')\n"
+        "    z = np.lexsort((a, b))\n"
+        "    return x, y, z\n"
+    ))
+    assert "NUM004" not in rule_ids(report)
+
+
 # ----------------------------------------------------------------------
 # suppressions
 # ----------------------------------------------------------------------
@@ -498,3 +982,115 @@ def test_tools_cli_lint_subcommand(tmp_path, capsys):
     bad.write_text("import time\nt = time.time()\n")
     assert tools_main(["lint", "--json", str(bad)]) == 1
     assert json.loads(capsys.readouterr().out)["summary"] == {"DET002": 1}
+
+
+# ----------------------------------------------------------------------
+# baselines: record once, fail only on NEW findings, ratchet down
+# ----------------------------------------------------------------------
+def test_cli_baseline_demotes_known_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+
+    assert lint_main(["--baseline", str(baseline), "--update-baseline",
+                      str(bad)]) == 0
+    recorded = json.loads(baseline.read_text())
+    assert recorded["schema"] == 1
+    assert recorded["counts"] == {f"DET002:{bad}": 1}
+    capsys.readouterr()
+
+    # the recorded finding no longer fails the run
+    assert lint_main(["--baseline", str(baseline), str(bad)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # a NEW finding in the same file still fails, and is the one shown
+    bad.write_text("import time\nt = time.time()\nu = time.time_ns()\n")
+    assert lint_main(["--baseline", str(baseline), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "time_ns" in out and "1 baselined" in out
+
+
+def test_cli_baseline_json_counts(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    assert lint_main(["--baseline", str(baseline), "--update-baseline",
+                      str(bad)]) == 0
+    capsys.readouterr()
+    assert lint_main(["--json", "--baseline", str(baseline), str(bad)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] and payload["baselined"] == 1
+    assert payload["findings"][0]["baselined"] is True
+
+
+def test_cli_baseline_error_paths(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    # --update-baseline without --baseline is a usage error
+    assert lint_main(["--update-baseline", str(good)]) == 2
+    # unreadable baseline files are reported, not silently ignored
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert lint_main(["--baseline", str(broken), str(good)]) == 2
+    wrong_schema = tmp_path / "wrong.json"
+    wrong_schema.write_text(json.dumps({"schema": 99, "counts": {}}))
+    assert lint_main(["--baseline", str(wrong_schema), str(good)]) == 2
+    # a missing baseline file is an empty baseline (everything is new)
+    capsys.readouterr()
+    missing = tmp_path / "missing.json"
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    assert lint_main(["--baseline", str(missing), str(bad)]) == 1
+
+
+def test_tools_cli_forwards_baseline_flags(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nt = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    assert tools_main(["lint", "--baseline", str(baseline),
+                       "--update-baseline", str(bad)]) == 0
+    capsys.readouterr()
+    assert tools_main(["lint", "--baseline", str(baseline), str(bad)]) == 0
+
+
+# ----------------------------------------------------------------------
+# docs coupling: the catalog and the suppression register stay honest
+# ----------------------------------------------------------------------
+_TREE_DIRS = [_REPO / "src" / "repro", _REPO / "tests",
+              _REPO / "benchmarks", _REPO / "examples"]
+
+
+@pytest.fixture(scope="module")
+def tree_report():
+    """One lint run over the whole project tree, shared by the
+    self-run and register tests."""
+    return lint_paths([d for d in _TREE_DIRS if d.exists()])
+
+
+def test_every_rule_documented_in_linting_md():
+    doc = (_REPO / "docs" / "linting.md").read_text()
+    for rule_id in all_rule_classes():
+        assert rule_id in doc, (
+            f"{rule_id} is registered but missing from docs/linting.md")
+
+
+def test_every_suppression_registered_in_linting_md(tree_report):
+    """The suppression ratchet: each inline suppression must have a
+    justification line (file + rule id) in the docs register, so adding
+    one silently is a test failure, not a shrug."""
+    doc_lines = (_REPO / "docs" / "linting.md").read_text().splitlines()
+    suppressed = [f for f in tree_report.findings if f.suppressed]
+    assert suppressed, "expected the documented suppressions to exist"
+    for f in suppressed:
+        rel = Path(f.path).resolve().relative_to(_REPO).as_posix()
+        assert any(rel in line and f.rule in line for line in doc_lines), (
+            f"suppressed {f.rule} at {rel}:{f.line} has no justification "
+            "entry in the docs/linting.md suppression register")
+
+
+def test_self_run_on_project_tree_is_clean(tree_report):
+    """src/repro, tests/, benchmarks/, and examples/ all hold themselves
+    to the full rule set (modulo registered suppressions)."""
+    assert tree_report.errors == []
+    assert tree_report.unsuppressed == [], "\n".join(
+        f.text() for f in tree_report.unsuppressed)
